@@ -1,0 +1,212 @@
+// Command stemsql executes SQL select-project-join queries over CSV files
+// with the adaptive SteM engine — no plans, no optimizer; the eddy routes.
+//
+// Usage:
+//
+//	stemsql -t people=people.csv -t orders=orders.csv \
+//	        -q "SELECT people.name, orders.total FROM people, orders WHERE people.id = orders.person AND orders.total >= 100"
+//
+// Without -q, stemsql reads statements from stdin (one per line; blank line
+// or EOF exits). Each source gets a scan access method by default; declare
+// an extra asynchronous index with -index table:column:latency, e.g.
+// -index people:id:200ms, and pick a routing policy with -policy.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/csvload"
+	"repro/internal/eddy"
+	"repro/internal/policy"
+	"repro/internal/source"
+	"repro/internal/sql"
+	"repro/internal/trace"
+	"repro/internal/tuple"
+)
+
+type tableFlags []string
+
+func (t *tableFlags) String() string     { return strings.Join(*t, ",") }
+func (t *tableFlags) Set(v string) error { *t = append(*t, v); return nil }
+
+func main() {
+	var tables, indexes tableFlags
+	flag.Var(&tables, "t", "source as name=path.csv (repeatable)")
+	flag.Var(&indexes, "index", "index access method as table:column:latency (repeatable)")
+	q := flag.String("q", "", "SQL statement; omit for a stdin REPL")
+	policyName := flag.String("policy", "benefitcost", "routing policy: fixed, lottery, benefitcost")
+	scanInterval := flag.Duration("scan-interval", time.Microsecond, "virtual inter-arrival pacing of scans")
+	seed := flag.Int64("seed", 1, "seed for randomized policies")
+	timing := flag.Bool("timing", false, "print per-result virtual emission times and run stats")
+	explain := flag.Bool("explain", false, "print a per-module adaptive-execution report after the results")
+	flag.Parse()
+
+	cat, err := loadCatalog(tables, indexes, *scanInterval)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if len(cat) == 0 {
+		fmt.Fprintln(os.Stderr, "stemsql: no sources; use -t name=path.csv")
+		os.Exit(1)
+	}
+
+	runOne := func(stmt string) bool {
+		if err := run(stmt, cat, *policyName, *seed, *timing, *explain); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return false
+		}
+		return true
+	}
+
+	if *q != "" {
+		if !runOne(*q) {
+			os.Exit(1)
+		}
+		return
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	fmt.Print("stemsql> ")
+	for sc.Scan() {
+		line := strings.TrimSpace(strings.TrimSuffix(sc.Text(), ";"))
+		if line == "" {
+			break
+		}
+		runOne(line)
+		fmt.Print("stemsql> ")
+	}
+}
+
+func loadCatalog(tables, indexes tableFlags, scanInterval time.Duration) (sql.MapCatalog, error) {
+	cat := sql.MapCatalog{}
+	for _, spec := range tables {
+		name, path, ok := strings.Cut(spec, "=")
+		if !ok {
+			return nil, fmt.Errorf("stemsql: bad -t %q (want name=path.csv)", spec)
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, fmt.Errorf("stemsql: %w", err)
+		}
+		data, err := csvload.Load(name, f)
+		f.Close()
+		if err != nil {
+			return nil, err
+		}
+		scan := source.ScanSpec{InterArrival: clock.Duration(scanInterval)}
+		cat[name] = sql.Source{Data: data, Scan: &scan}
+	}
+	for _, spec := range indexes {
+		parts := strings.Split(spec, ":")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("stemsql: bad -index %q (want table:column:latency)", spec)
+		}
+		src, ok := cat[parts[0]]
+		if !ok {
+			return nil, fmt.Errorf("stemsql: -index references unknown table %q", parts[0])
+		}
+		col := src.Data.Schema.ColIndex(parts[1])
+		if col < 0 {
+			return nil, fmt.Errorf("stemsql: -index references unknown column %q of %q", parts[1], parts[0])
+		}
+		lat, err := time.ParseDuration(parts[2])
+		if err != nil {
+			return nil, fmt.Errorf("stemsql: -index latency: %w", err)
+		}
+		src.Indexes = append(src.Indexes, source.IndexSpec{
+			KeyCols: []int{col}, Latency: clock.Duration(lat), Parallel: 1,
+		})
+		cat[parts[0]] = src
+	}
+	return cat, nil
+}
+
+func run(stmtSrc string, cat sql.MapCatalog, policyName string, seed int64, timing, explain bool) error {
+	stmt, err := sql.Parse(stmtSrc)
+	if err != nil {
+		return err
+	}
+	bound, err := sql.Bind(stmt, cat)
+	if err != nil {
+		return err
+	}
+	var pol policy.Policy
+	switch policyName {
+	case "fixed":
+		pol = policy.NewFixed()
+	case "lottery":
+		pol = policy.NewLottery(seed)
+	case "benefitcost":
+		pol = policy.NewBenefitCost(seed)
+	default:
+		return fmt.Errorf("stemsql: unknown policy %q", policyName)
+	}
+	r, err := eddy.NewRouter(bound.Q, eddy.Options{Policy: pol})
+	if err != nil {
+		return err
+	}
+	sim := eddy.NewSim(r)
+	var collector *trace.Collector
+	if explain {
+		collector = trace.NewCollector(r.Modules())
+		collector.Attach(sim)
+	}
+	outs, err := sim.Run()
+	if err != nil {
+		return err
+	}
+	// ORDER BY / LIMIT are applied above the eddy.
+	tuples := make([]*tuple.Tuple, len(outs))
+	atOf := make(map[*tuple.Tuple]float64, len(outs))
+	for i, o := range outs {
+		tuples[i] = o.T
+		atOf[o.T] = o.At.Seconds()
+	}
+	tuples = bound.Arrange(tuples)
+
+	// Header.
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	for i, oc := range bound.Output {
+		if i > 0 {
+			fmt.Fprint(w, "\t")
+		}
+		fmt.Fprint(w, oc.Name)
+	}
+	if timing {
+		fmt.Fprint(w, "\t@virtual")
+	}
+	fmt.Fprintln(w)
+	for _, t := range tuples {
+		printRow(w, t, bound.Output)
+		if timing {
+			fmt.Fprintf(w, "\t%.6fs", atOf[t])
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "-- %d rows", len(tuples))
+	if timing {
+		fmt.Fprintf(w, "; %d routing steps; %d sim events", r.Routed(), sim.Events())
+	}
+	fmt.Fprintln(w)
+	if collector != nil {
+		fmt.Fprintln(w)
+		fmt.Fprint(w, collector.Report())
+	}
+	return nil
+}
+
+func printRow(w *bufio.Writer, t *tuple.Tuple, out []sql.OutputCol) {
+	for i, oc := range out {
+		if i > 0 {
+			fmt.Fprint(w, "\t")
+		}
+		fmt.Fprint(w, t.Value(oc.Table, oc.Col))
+	}
+}

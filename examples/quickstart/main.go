@@ -1,0 +1,51 @@
+// Quickstart: a three-table select-project-join executed by routing tuples
+// through SteMs — no query plan, no optimizer.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	stems "repro"
+)
+
+func main() {
+	// Employees, departments, and buildings; find engineers and where they
+	// sit. Joins: emp.dept = dept.id, dept.bldg = bldg.id; selection on
+	// emp.level.
+	q := stems.NewQuery().
+		Table("emp", stems.Ints("id", "dept", "level"), [][]int64{
+			{1, 10, 3}, {2, 10, 5}, {3, 20, 4}, {4, 20, 2}, {5, 30, 5},
+		}).
+		Table("dept", stems.Ints("id", "bldg"), [][]int64{
+			{10, 100}, {20, 200}, {30, 200},
+		}).
+		Table("bldg", stems.Ints("id", "floors"), [][]int64{
+			{100, 4}, {200, 12},
+		}).
+		Scan("emp", time.Millisecond).
+		Scan("dept", time.Millisecond).
+		Scan("bldg", time.Millisecond).
+		Where("emp.dept", "=", "dept.id").
+		Where("dept.bldg", "=", "bldg.id").
+		Where("emp.level", ">=", "4")
+
+	res, err := q.Run(stems.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("senior employees with their buildings:")
+	for _, row := range res.Rows {
+		id, _ := row.Get("emp.id")
+		bldg, _ := row.Get("bldg.id")
+		floors, _ := row.Get("bldg.floors")
+		fmt.Printf("  emp %v sits in building %v (%v floors), produced at t=%v\n",
+			id, bldg, floors, row.At)
+	}
+	fmt.Printf("stats: %d routing steps, %d SteM builds, virtual duration %v\n",
+		res.Stats.RoutingSteps, res.Stats.SteMBuilds, res.Stats.Duration)
+}

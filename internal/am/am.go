@@ -1,0 +1,282 @@
+// Package am implements Access Modules (Section 2.1.3): each AM encapsulates
+// one access method — a scan or an index — over a data source. Scans accept
+// only the special seed tuple and stream out the whole source, paced by the
+// source's ScanSpec. Index AMs accept probe tuples, asynchronously return
+// the matching rows after the source's lookup latency, bounce the probe
+// tuple back, and finish each probe with an End-Of-Transmission (EOT) tuple
+// encoding the probing predicate.
+package am
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/clock"
+	"repro/internal/flow"
+	"repro/internal/query"
+	"repro/internal/source"
+	"repro/internal/tuple"
+	"repro/internal/value"
+)
+
+// Config parameterizes an access module.
+type Config struct {
+	// Q is the enclosing query and AMIndex the position of this AM's
+	// declaration in Q.AMs.
+	Q       *query.Q
+	AMIndex int
+	// DispatchCost is the local service time to issue a request (the remote
+	// latency itself comes from the source specs).
+	DispatchCost clock.Duration
+	// ApplySelections pushes the query's selections on this AM's table into
+	// the AM, per Table 1 ("the AM applies the others after the lookup").
+	// When false, selection predicates are left to selection modules so the
+	// eddy can order them adaptively.
+	ApplySelections bool
+	// Disabled simulates a source that never responds (for competitive-AM
+	// experiments): probes are swallowed, bounced back marked AMProbed only
+	// after an infinite wait — i.e. never. Seeds produce nothing.
+	Disabled bool
+}
+
+// Stats are cumulative AM counters.
+type Stats struct {
+	SeedsServed uint64
+	Probes      uint64 // index lookups issued to the remote source
+	DedupProbes uint64 // probes suppressed because the key was already fetched
+	RowsOut     uint64
+	EOTsOut     uint64
+}
+
+// AM is one access module.
+type AM struct {
+	cfg   Config
+	decl  query.AMDecl
+	index *source.Index // nil for scans
+	name  string
+
+	mu      sync.Mutex
+	stats   Stats
+	fetched map[string]bool // index keys already looked up (or in flight)
+}
+
+// New builds an access module, constructing the source-side index for index
+// AMs.
+func New(cfg Config) (*AM, error) {
+	decl := cfg.Q.AMs[cfg.AMIndex]
+	a := &AM{cfg: cfg, decl: decl}
+	if decl.Name != "" {
+		a.name = decl.Name
+	} else {
+		a.name = fmt.Sprintf("AM(%s/%s)", cfg.Q.Tables[decl.Table].Name, decl.Kind)
+	}
+	if decl.Kind == query.Index {
+		ix, err := source.BuildIndex(decl.Data, decl.IndexSpec)
+		if err != nil {
+			return nil, err
+		}
+		a.index = ix
+		a.fetched = make(map[string]bool)
+	}
+	return a, nil
+}
+
+// Name implements flow.Module.
+func (a *AM) Name() string { return a.name }
+
+// Parallel implements flow.Module: index AMs issue asynchronous lookups with
+// the source's concurrency bound; scans are single-server.
+func (a *AM) Parallel() int {
+	if a.decl.Kind == query.Index {
+		return a.decl.IndexSpec.Parallel
+	}
+	return 1
+}
+
+// Table returns the query position of the table this AM serves.
+func (a *AM) Table() int { return a.decl.Table }
+
+// Kind returns the access method kind.
+func (a *AM) Kind() query.AMKind { return a.decl.Kind }
+
+// AMIndex returns this AM's position in the query's AM list.
+func (a *AM) AMIndex() int { return a.cfg.AMIndex }
+
+// Stats returns a snapshot of the AM's counters.
+func (a *AM) Stats() Stats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.stats
+}
+
+// Process implements flow.Module.
+func (a *AM) Process(t *tuple.Tuple, now clock.Time) ([]flow.Emission, clock.Duration) {
+	if a.cfg.Disabled {
+		return nil, a.cfg.DispatchCost
+	}
+	if t.Seed {
+		if a.decl.Kind != query.Scan {
+			panic(fmt.Sprintf("am: seed tuple routed to index AM %s", a.name))
+		}
+		return a.scan(), a.cfg.DispatchCost
+	}
+	if a.decl.Kind != query.Index {
+		panic(fmt.Sprintf("am: probe tuple routed to scan AM %s", a.name))
+	}
+	out, cost := a.probe(t)
+	return out, a.cfg.DispatchCost + cost
+}
+
+// scan streams out the whole source, each row delayed per the ScanSpec, and
+// ends with a full EOT ("in the case of a scan AM, the predicate is simply
+// true"). The seed tuple is consumed.
+func (a *AM) scan() []flow.Emission {
+	n := len(a.cfg.Q.Tables)
+	rows := a.decl.Data.Rows
+	times, eotAt := a.decl.ScanSpec.RowTimes(len(rows))
+	out := make([]flow.Emission, 0, len(rows)+1)
+	a.mu.Lock()
+	a.stats.SeedsServed++
+	a.mu.Unlock()
+	for i, r := range rows {
+		if a.cfg.ApplySelections && !a.passesSelections(r) {
+			continue
+		}
+		s := tuple.NewSingleton(n, a.decl.Table, r)
+		if a.cfg.ApplySelections {
+			a.markSelections(s)
+		}
+		out = append(out, flow.EmitAfter(s, times[i]))
+		a.mu.Lock()
+		a.stats.RowsOut++
+		a.mu.Unlock()
+	}
+	eot := tuple.NewEOT(n, a.decl.Table, a.eotRow(nil, nil), nil)
+	out = append(out, flow.EmitAfter(eot, eotAt))
+	a.mu.Lock()
+	a.stats.EOTsOut++
+	a.mu.Unlock()
+	return out
+}
+
+// probe serves an index lookup: it resolves the bind values from the probe
+// tuple via the query's equality join predicates, looks them up, filters the
+// matches against every other predicate evaluable on (probe ∪ match), and
+// emits — after the source latency — the match singletons, the EOT tuple for
+// this binding, and the bounced-back probe ("AMs asynchronously bounce back
+// each probe tuple to the eddy").
+//
+// The latency is charged as service time: the AM's Parallel() servers model
+// the source's capacity for outstanding asynchronous lookups, so with
+// Parallel=1 lookups serialize at the source (the paper's bottleneck: "the
+// speed at which the S index can handle R probes") while excess probes queue
+// at the AM — not in front of anyone else's cache lookups.
+func (a *AM) probe(t *tuple.Tuple) ([]flow.Emission, clock.Duration) {
+	q := a.cfg.Q
+	bind, ok := q.BindValues(t, a.cfg.AMIndex)
+	if !ok {
+		panic(fmt.Sprintf("am: unbindable probe %s routed to %s", t, a.name))
+	}
+	vals := bind[0]
+	lat := a.decl.IndexSpec.Latency
+
+	// Rendezvous suppression: if this key has already been fetched (or a
+	// lookup is in flight), the matches and EOT are — or will be — in the
+	// SteM, where the probe tuple rendezvouses with them (Section 3.3). A
+	// duplicate remote lookup would only produce set-semantics duplicates,
+	// which is why Figure 7(ii) shows near-identical probe counts for the
+	// SteM and index-join architectures.
+	key := vals.Key()
+	a.mu.Lock()
+	if a.fetched[key] {
+		a.stats.DedupProbes++
+		a.mu.Unlock()
+		t.AMProbed = true
+		return []flow.Emission{flow.Emit(t)}, 0
+	}
+	a.fetched[key] = true
+	a.stats.Probes++
+	a.mu.Unlock()
+
+	n := len(q.Tables)
+	var out []flow.Emission
+	for _, r := range a.index.Lookup(vals) {
+		s := tuple.NewSingleton(n, a.decl.Table, r)
+		cat := t.Concat(s)
+		if !a.matchOK(cat) {
+			continue
+		}
+		if a.cfg.ApplySelections {
+			a.markSelections(s)
+		}
+		out = append(out, flow.Emit(s))
+		a.mu.Lock()
+		a.stats.RowsOut++
+		a.mu.Unlock()
+	}
+	keyCols := a.decl.IndexSpec.KeyCols
+	eot := tuple.NewEOT(n, a.decl.Table, a.eotRow(keyCols, vals), keyCols)
+	out = append(out, flow.Emit(eot))
+	a.mu.Lock()
+	a.stats.EOTsOut++
+	a.mu.Unlock()
+
+	t.AMProbed = true
+	out = append(out, flow.Emit(t))
+	return out, lat
+}
+
+// matchOK verifies every query predicate evaluable on the concatenation of
+// the probe and a candidate match (Table 1's match definition). Done bits
+// are not recorded here: matches flow out as singletons and predicates are
+// re-verified (and marked) when they concatenate inside SteMs.
+func (a *AM) matchOK(cat *tuple.Tuple) bool {
+	for _, p := range a.cfg.Q.Preds {
+		if !p.ApplicableTo(cat.Span) || cat.Done.Has(p.ID) {
+			continue
+		}
+		if p.IsJoin() {
+			if !p.Eval(cat) {
+				return false
+			}
+		} else if p.Left.Table == a.decl.Table {
+			if !p.Eval(cat) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// passesSelections applies the table's selection predicates to a raw row.
+func (a *AM) passesSelections(r tuple.Row) bool {
+	probe := tuple.NewSingleton(len(a.cfg.Q.Tables), a.decl.Table, r)
+	for _, p := range a.cfg.Q.SelectionsOn(a.decl.Table) {
+		if !p.Eval(probe) {
+			return false
+		}
+	}
+	return true
+}
+
+// markSelections records the table's selections as passed in the singleton's
+// done bits.
+func (a *AM) markSelections(s *tuple.Tuple) {
+	for _, p := range a.cfg.Q.SelectionsOn(a.decl.Table) {
+		s.Done = s.Done.With(p.ID)
+	}
+}
+
+// eotRow builds the EOT tuple's row: bound key columns carry the looked-up
+// values, every other field the EOT marker.
+func (a *AM) eotRow(keyCols []int, vals tuple.Row) tuple.Row {
+	arity := a.cfg.Q.Tables[a.decl.Table].Arity()
+	row := make(tuple.Row, arity)
+	for i := range row {
+		row[i] = value.NewEOT()
+	}
+	for i, c := range keyCols {
+		row[c] = vals[i]
+	}
+	return row
+}

@@ -1,0 +1,94 @@
+// Package clock provides the time model shared by the two execution engines.
+//
+// The paper's experiments implement remote index lookups "as sleeps of
+// identical duration" (Table 3). To regenerate the paper's time-series
+// figures deterministically and quickly, the simulation engine runs on a
+// virtual clock advanced by a discrete-event loop; the concurrent engine runs
+// on a real clock, optionally scaled so that a "paper second" takes a
+// millisecond of wall time.
+package clock
+
+import (
+	"sync"
+	"time"
+)
+
+// Time is a point in virtual time, in nanoseconds since query start.
+type Time int64
+
+// Duration is a span of virtual time, in nanoseconds.
+type Duration int64
+
+// Common durations, mirroring time package conventions.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// Add returns the time d after t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Seconds returns the time as floating-point seconds, for experiment output.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Seconds returns the duration as floating-point seconds.
+func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
+
+// Scale returns the duration multiplied by f.
+func Scale(d Duration, f float64) Duration { return Duration(float64(d) * f) }
+
+// Clock abstracts "now" and "sleep" for the concurrent engine. The simulation
+// engine does not use Clock: it owns time directly via its event queue.
+type Clock interface {
+	// Now returns the current virtual time.
+	Now() Time
+	// Sleep blocks for the given virtual duration.
+	Sleep(d Duration)
+	// After returns a channel that delivers after the given virtual duration.
+	After(d Duration) <-chan struct{}
+}
+
+// Real is a Clock backed by wall time. Factor compresses virtual time:
+// Factor 0.001 makes one virtual second cost one real millisecond, so
+// examples reproduce the paper's multi-minute runs in tens of milliseconds.
+type Real struct {
+	start  time.Time
+	factor float64
+	mu     sync.Mutex
+}
+
+// NewReal returns a real clock with the given compression factor. A factor of
+// 1 runs in real time; smaller factors run faster.
+func NewReal(factor float64) *Real {
+	if factor <= 0 {
+		factor = 1
+	}
+	return &Real{start: time.Now(), factor: factor}
+}
+
+// Now implements Clock.
+func (r *Real) Now() Time {
+	real := time.Since(r.start)
+	return Time(float64(real) / r.factor)
+}
+
+// Sleep implements Clock.
+func (r *Real) Sleep(d Duration) {
+	if d <= 0 {
+		return
+	}
+	time.Sleep(time.Duration(float64(d) * r.factor))
+}
+
+// After implements Clock.
+func (r *Real) After(d Duration) <-chan struct{} {
+	ch := make(chan struct{}, 1)
+	if d <= 0 {
+		ch <- struct{}{}
+		return ch
+	}
+	time.AfterFunc(time.Duration(float64(d)*r.factor), func() { ch <- struct{}{} })
+	return ch
+}

@@ -1,0 +1,51 @@
+package clock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTimeArithmetic(t *testing.T) {
+	ts := Time(0).Add(3 * Second)
+	if ts.Seconds() != 3 {
+		t.Errorf("Seconds = %v", ts.Seconds())
+	}
+	if (1500 * Millisecond).Seconds() != 1.5 {
+		t.Error("Duration.Seconds wrong")
+	}
+	if Scale(Second, 0.5) != 500*Millisecond {
+		t.Error("Scale wrong")
+	}
+}
+
+func TestRealClockCompression(t *testing.T) {
+	// Factor 1e-6: one virtual second per microsecond of wall time.
+	c := NewReal(0.000001)
+	c.Sleep(2 * Second) // ~2µs wall
+	if now := c.Now(); now < Time(1*Second) {
+		t.Errorf("virtual clock barely advanced: %v", now)
+	}
+}
+
+func TestRealClockAfter(t *testing.T) {
+	c := NewReal(0.0001)
+	select {
+	case <-c.After(100 * Millisecond): // 10µs wall
+	case <-time.After(time.Second):
+		t.Fatal("After never fired")
+	}
+	// Non-positive durations fire immediately.
+	select {
+	case <-c.After(0):
+	case <-time.After(time.Second):
+		t.Fatal("After(0) never fired")
+	}
+}
+
+func TestNewRealDefaultsFactor(t *testing.T) {
+	c := NewReal(0)
+	if c == nil {
+		t.Fatal("nil clock")
+	}
+	c.Sleep(-5) // must not block or panic
+}

@@ -1,0 +1,83 @@
+// Package core assembles the paper's primary contribution into one call:
+// given a validated select-project-join query, it instantiates the SteM
+// architecture (Section 2.2 — access modules, selection modules, one SteM
+// per base table, an eddy router under the Table 2 constraints) and executes
+// it on either engine. The building blocks live in internal/stem and
+// internal/eddy; this package is the canonical way to put them together, as
+// used by the public facade, the experiment harness and the CLI.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/clock"
+	"repro/internal/eddy"
+	"repro/internal/query"
+)
+
+// Engine selects the execution engine.
+type Engine uint8
+
+const (
+	// Simulated runs the deterministic discrete-event engine.
+	Simulated Engine = iota
+	// Threaded runs the goroutine/channel engine.
+	Threaded
+)
+
+// Run holds a prepared execution.
+type Run struct {
+	Router *eddy.Router
+	// Engine is the selected engine.
+	Engine Engine
+	// Clock drives the Threaded engine; nil uses a 1000×-compressed real
+	// clock.
+	Clock clock.Clock
+	// Deadline stops the Simulated engine at the given virtual time.
+	Deadline clock.Time
+}
+
+// Prepare validates options and instantiates the module graph.
+func Prepare(q *query.Q, opts eddy.Options, engine Engine) (*Run, error) {
+	r, err := eddy.NewRouter(q, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Run{Router: r, Engine: engine}, nil
+}
+
+// Execute runs the query to completion and returns the results in emission
+// order, verifying the router never hit a routing dead-end.
+func (r *Run) Execute() ([]eddy.Output, error) {
+	var outs []eddy.Output
+	var err error
+	switch r.Engine {
+	case Threaded:
+		clk := r.Clock
+		if clk == nil {
+			clk = clock.NewReal(0.001)
+		}
+		outs, err = eddy.NewConcurrent(r.Router, clk).Run()
+	default:
+		sim := eddy.NewSim(r.Router)
+		sim.Deadline = r.Deadline
+		outs, err = sim.Run()
+	}
+	if err != nil {
+		return nil, err
+	}
+	if n := r.Router.Stuck(); n > 0 {
+		return outs, fmt.Errorf("core: %d tuples had no legal route (internal invariant violation)", n)
+	}
+	return outs, nil
+}
+
+// Execute is the one-call form: prepare and run with default options on the
+// simulated engine.
+func Execute(q *query.Q, opts eddy.Options) ([]eddy.Output, error) {
+	r, err := Prepare(q, opts, Simulated)
+	if err != nil {
+		return nil, err
+	}
+	return r.Execute()
+}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/clock"
+	"repro/internal/eddy"
+	"repro/internal/oracle"
+	"repro/internal/pred"
+	"repro/internal/query"
+	"repro/internal/schema"
+	"repro/internal/source"
+	"repro/internal/tuple"
+	"repro/internal/value"
+)
+
+func fixture(t *testing.T) *query.Q {
+	t.Helper()
+	rT := schema.MustTable("R", schema.IntCol("k"), schema.IntCol("a"))
+	sT := schema.MustTable("S", schema.IntCol("x"), schema.IntCol("y"))
+	row := func(a, b int64) tuple.Row { return tuple.Row{value.NewInt(a), value.NewInt(b)} }
+	rData := source.MustTable(rT, []tuple.Row{row(1, 10), row(2, 20)})
+	sData := source.MustTable(sT, []tuple.Row{row(10, 100), row(20, 200)})
+	return query.MustNew([]*schema.Table{rT, sT},
+		[]pred.P{pred.EquiJoin(0, 1, 1, 0)},
+		[]query.AMDecl{
+			{Table: 0, Kind: query.Scan, Data: rData, ScanSpec: source.ScanSpec{InterArrival: clock.Millisecond}},
+			{Table: 1, Kind: query.Scan, Data: sData, ScanSpec: source.ScanSpec{InterArrival: clock.Millisecond}},
+		})
+}
+
+func TestExecuteSimulated(t *testing.T) {
+	q := fixture(t)
+	outs, err := Execute(q, eddy.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(oracle.Result)
+	for _, o := range outs {
+		got[o.T.ResultKey()]++
+	}
+	m, e := oracle.Diff(oracle.Compute(q), got)
+	if len(m) > 0 || len(e) > 0 {
+		t.Errorf("missing=%v extra=%v", m, e)
+	}
+}
+
+func TestExecuteThreaded(t *testing.T) {
+	run, err := Prepare(fixture(t), eddy.Options{}, Threaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run.Clock = clock.NewReal(0.0001)
+	outs, err := run.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 2 {
+		t.Fatalf("got %d results, want 2", len(outs))
+	}
+}
+
+func TestExecuteDeadline(t *testing.T) {
+	run, err := Prepare(fixture(t), eddy.Options{}, Simulated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run.Deadline = clock.Time(clock.Microsecond) // before any scan row
+	outs, err := run.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 0 {
+		t.Errorf("deadline run produced %d results", len(outs))
+	}
+}

@@ -1,0 +1,96 @@
+// Package csvload turns CSV files into engine sources: the header row names
+// the columns, and a column whose every value parses as an integer becomes
+// an integer column (otherwise a string column). This is the "Federated
+// Facts and Figures" shape of data the paper's system was built to query —
+// smallish Web-scale tables that fit in memory.
+package csvload
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/schema"
+	"repro/internal/source"
+	"repro/internal/tuple"
+	"repro/internal/value"
+)
+
+// Load reads CSV from r into a source table named name. The first record is
+// the header.
+func Load(name string, r io.Reader) (*source.Table, error) {
+	cr := csv.NewReader(r)
+	cr.TrimLeadingSpace = true
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("csvload: %s: %w", name, err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("csvload: %s: empty file (need a header row)", name)
+	}
+	header := records[0]
+	if len(header) == 0 {
+		return nil, fmt.Errorf("csvload: %s: empty header", name)
+	}
+	rows := records[1:]
+
+	// Infer column kinds: integer iff every non-empty cell parses.
+	isInt := make([]bool, len(header))
+	for c := range header {
+		isInt[c] = true
+		for _, rec := range rows {
+			if c >= len(rec) {
+				continue
+			}
+			cell := strings.TrimSpace(rec[c])
+			if cell == "" {
+				continue
+			}
+			if _, err := strconv.ParseInt(cell, 10, 64); err != nil {
+				isInt[c] = false
+				break
+			}
+		}
+	}
+
+	cols := make([]schema.Column, len(header))
+	for c, h := range header {
+		h = strings.TrimSpace(h)
+		if h == "" {
+			return nil, fmt.Errorf("csvload: %s: column %d has no name", name, c)
+		}
+		if isInt[c] {
+			cols[c] = schema.IntCol(h)
+		} else {
+			cols[c] = schema.StrCol(h)
+		}
+	}
+	sch, err := schema.NewTable(name, cols...)
+	if err != nil {
+		return nil, fmt.Errorf("csvload: %s: %w", name, err)
+	}
+
+	out := make([]tuple.Row, 0, len(rows))
+	for i, rec := range rows {
+		if len(rec) != len(header) {
+			return nil, fmt.Errorf("csvload: %s: row %d has %d fields, want %d", name, i+1, len(rec), len(header))
+		}
+		row := make(tuple.Row, len(header))
+		for c, cell := range rec {
+			cell = strings.TrimSpace(cell)
+			switch {
+			case cell == "":
+				row[c] = value.NewNull()
+			case isInt[c]:
+				v, _ := strconv.ParseInt(cell, 10, 64)
+				row[c] = value.NewInt(v)
+			default:
+				row[c] = value.NewStr(cell)
+			}
+		}
+		out = append(out, row)
+	}
+	return source.NewTable(sch, out)
+}

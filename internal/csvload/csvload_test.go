@@ -1,0 +1,75 @@
+package csvload
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/value"
+)
+
+func TestLoadInfersKinds(t *testing.T) {
+	tb, err := Load("people", strings.NewReader("id,name,age\n1,ann,30\n2,bob,41\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Schema.Name != "people" || tb.Schema.Arity() != 3 {
+		t.Fatalf("schema = %+v", tb.Schema)
+	}
+	if tb.Schema.Cols[0].Kind != value.Int || tb.Schema.Cols[1].Kind != value.Str || tb.Schema.Cols[2].Kind != value.Int {
+		t.Errorf("kinds = %v", tb.Schema.Cols)
+	}
+	if len(tb.Rows) != 2 || !tb.Rows[1][1].Equal(value.NewStr("bob")) {
+		t.Errorf("rows = %v", tb.Rows)
+	}
+}
+
+func TestLoadEmptyCellsAreNull(t *testing.T) {
+	tb, err := Load("t", strings.NewReader("a,b\n1,\n,2\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tb.Rows[0][1].IsNull() || !tb.Rows[1][0].IsNull() {
+		t.Error("empty cells must load as NULL")
+	}
+	// Column kind inference ignores empties.
+	if tb.Schema.Cols[0].Kind != value.Int {
+		t.Error("kind inference must skip empty cells")
+	}
+}
+
+func TestLoadMixedColumnIsString(t *testing.T) {
+	tb, err := Load("t", strings.NewReader("a\n1\nx\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Schema.Cols[0].Kind != value.Str {
+		t.Error("mixed column must be string")
+	}
+	if !tb.Rows[0][0].Equal(value.NewStr("1")) {
+		t.Error("values must load as strings in a string column")
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	cases := []string{
+		"",             // no header
+		"a,a\n1,2\n",   // duplicate column
+		"a, \n1,2\n",   // unnamed column
+		"a,b\n1,2,3\n", // this one errors inside csv reader (field count)
+	}
+	for _, src := range cases {
+		if _, err := Load("t", strings.NewReader(src)); err == nil {
+			t.Errorf("%q: want error", src)
+		}
+	}
+}
+
+func TestLoadNegativeNumbers(t *testing.T) {
+	tb, err := Load("t", strings.NewReader("a\n-3\n7\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Schema.Cols[0].Kind != value.Int || tb.Rows[0][0].I != -3 {
+		t.Error("negative integers must parse")
+	}
+}

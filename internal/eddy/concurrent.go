@@ -1,0 +1,302 @@
+// concurrent.go is the channel-based engine: every module runs in its own
+// goroutine (a worker pool sized by Parallel()), exchanging tuples with the
+// eddy over channels — the paper's Telegraph setting, where "each module
+// runs asynchronously in a separate thread". Service costs and source
+// latencies elapse on a real clock, optionally compressed so the paper's
+// multi-minute runs finish in milliseconds.
+//
+// The engine is not deterministic (that is the simulator's job); it is the
+// deployment-shaped engine, and the race-exercising tests run the same
+// correctness oracle against it.
+package eddy
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/policy"
+	"repro/internal/tuple"
+)
+
+// inbox is an unbounded FIFO of tuples; unboundedness removes the
+// eddy↔module send cycle that could otherwise deadlock bounded channels.
+type inbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []*tuple.Tuple
+	closed bool
+}
+
+func newInbox() *inbox {
+	b := &inbox{}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *inbox) push(t *tuple.Tuple) {
+	b.mu.Lock()
+	b.items = append(b.items, t)
+	b.mu.Unlock()
+	b.cond.Signal()
+}
+
+func (b *inbox) pop() (*tuple.Tuple, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for len(b.items) == 0 && !b.closed {
+		b.cond.Wait()
+	}
+	if len(b.items) == 0 {
+		return nil, false
+	}
+	t := b.items[0]
+	b.items = b.items[1:]
+	return t, true
+}
+
+func (b *inbox) len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.items)
+}
+
+func (b *inbox) close() {
+	b.mu.Lock()
+	b.closed = true
+	b.mu.Unlock()
+	b.cond.Broadcast()
+}
+
+// eddyEvent is a message to the eddy goroutine: a tuple to route or policy
+// feedback from a module worker (policies are not thread-safe, so all policy
+// calls happen on the eddy goroutine).
+type eddyEvent struct {
+	t  *tuple.Tuple
+	fb *policy.Feedback
+}
+
+// Concurrent drives a Routing with goroutines and channels on a real clock.
+type Concurrent struct {
+	r   Routing
+	clk clock.Clock
+
+	// OnOutput is called (on the eddy goroutine) for each result.
+	OnOutput func(t *tuple.Tuple, at clock.Time)
+	// WallTimeout aborts the run after this much wall time; 0 disables. The
+	// run returns the results produced so far plus an error.
+	WallTimeout time.Duration
+
+	events   chan eddyEvent
+	inboxes  []*inbox
+	inflight atomic.Int64
+	costEWMA []atomic.Int64 // per-module EWMA service cost, ns
+
+	mu      sync.Mutex
+	outputs []Output
+	errOnce sync.Once
+	err     error
+}
+
+// NewConcurrent prepares a concurrent run. clk nil defaults to a real clock
+// compressed 1000× (one virtual second per wall millisecond).
+func NewConcurrent(r Routing, clk clock.Clock) *Concurrent {
+	if clk == nil {
+		clk = clock.NewReal(0.001)
+	}
+	return &Concurrent{
+		r:        r,
+		clk:      clk,
+		events:   make(chan eddyEvent, 1024),
+		costEWMA: make([]atomic.Int64, len(r.Modules())),
+	}
+}
+
+// Now implements policy.Env.
+func (c *Concurrent) Now() clock.Time { return c.clk.Now() }
+
+// Backlog implements policy.Env.
+func (c *Concurrent) Backlog(mod int) clock.Duration {
+	par := c.r.Modules()[mod].Parallel()
+	if par == 0 {
+		return 0
+	}
+	waiting := c.inboxes[mod].len()
+	return clock.Duration(int64(waiting) * c.costEWMA[mod].Load() / int64(par))
+}
+
+// Run executes the query to completion and returns the results in output
+// order. It is safe to call once.
+func (c *Concurrent) Run() ([]Output, error) {
+	mods := c.r.Modules()
+	c.inboxes = make([]*inbox, len(mods))
+	var wg sync.WaitGroup
+	for i, m := range mods {
+		c.inboxes[i] = newInbox()
+		workers := m.Parallel()
+		if workers == 0 {
+			workers = 64
+		}
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go c.worker(i, &wg)
+		}
+	}
+
+	seeds := c.r.Seeds()
+	c.inflight.Store(int64(len(seeds)))
+	if len(seeds) > 0 {
+		go func() {
+			for _, s := range seeds {
+				c.events <- eddyEvent{t: s}
+			}
+		}()
+
+		var timeout <-chan time.Time
+		if c.WallTimeout > 0 {
+			tm := time.NewTimer(c.WallTimeout)
+			defer tm.Stop()
+			timeout = tm.C
+		}
+
+		// The eddy goroutine: the only caller of Route/Choose/Observe.
+	loop:
+		for {
+			select {
+			case ev := <-c.events:
+				if ev.fb != nil {
+					if ev.fb.Emitted >= 0 {
+						c.r.Policy().Observe(*ev.fb)
+					}
+				} else {
+					c.route(ev.t)
+				}
+				if c.inflight.Load() == 0 {
+					break loop
+				}
+			case <-timeout:
+				c.errOnce.Do(func() {
+					c.mu.Lock()
+					c.err = fmt.Errorf("eddy: wall timeout after %v with %d tuples in flight",
+						c.WallTimeout, c.inflight.Load())
+					c.mu.Unlock()
+				})
+				break loop
+			}
+		}
+	}
+
+	// Quiescent (or timed out): unblock and stop the workers. A drainer
+	// absorbs anything still in flight — feedback from draining workers
+	// and, on the timeout path, stragglers from the seeder and delayed
+	// emissions — so the channel is intentionally never closed.
+	go func() {
+		for range c.events {
+		}
+	}()
+	for _, b := range c.inboxes {
+		b.close()
+	}
+	wg.Wait()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.outputs, c.err
+}
+
+func (c *Concurrent) route(t *tuple.Tuple) {
+	defer func() {
+		if r := recover(); r != nil {
+			c.errOnce.Do(func() {
+				c.mu.Lock()
+				c.err = fmt.Errorf("eddy: routing panic: %v", r)
+				c.mu.Unlock()
+			})
+			c.inflight.Add(-1)
+		}
+	}()
+	d := c.r.Route(t, c)
+	switch {
+	case d.Output:
+		now := c.clk.Now()
+		c.mu.Lock()
+		c.outputs = append(c.outputs, Output{T: t, At: now})
+		c.mu.Unlock()
+		if c.OnOutput != nil {
+			c.OnOutput(t, now)
+		}
+		c.inflight.Add(-1)
+	case d.Drop:
+		c.inflight.Add(-1)
+	default:
+		if d.Delay > 0 {
+			mod, delay := d.Module, d.Delay
+			go func() {
+				<-c.clk.After(delay)
+				c.inboxes[mod].push(t)
+			}()
+			return
+		}
+		c.inboxes[d.Module].push(t)
+	}
+}
+
+func (c *Concurrent) worker(mod int, wg *sync.WaitGroup) {
+	defer wg.Done()
+	m := c.r.Modules()[mod]
+	for {
+		t, ok := c.inboxes[mod].pop()
+		if !ok {
+			return
+		}
+		ems, cost := m.Process(t, c.clk.Now())
+		c.observeCost(mod, cost)
+		c.clk.Sleep(cost)
+
+		// Account for the net dataflow change before emitting, so the
+		// counter can never dip to zero while emissions are pending.
+		delta := int64(len(ems)) - 1
+		outputs := 0
+		for _, em := range ems {
+			if em.T != t {
+				outputs++
+			}
+		}
+		if delta > 0 {
+			c.inflight.Add(delta)
+		}
+		fb := policy.Feedback{
+			Module: mod, Sig: uint64(t.Span),
+			Outputs: outputs, Emitted: len(ems), Cost: cost, Now: c.clk.Now(),
+		}
+		for _, em := range ems {
+			if em.Delay > 0 {
+				em := em
+				go func() {
+					<-c.clk.After(em.Delay)
+					c.events <- eddyEvent{t: em.T}
+				}()
+			} else {
+				c.events <- eddyEvent{t: em.T}
+			}
+		}
+		c.events <- eddyEvent{fb: &fb}
+		if delta < 0 {
+			if c.inflight.Add(delta) == 0 {
+				// Wake the eddy loop so it observes quiescence; Emitted -1
+				// marks it as a pure wake-up, not real feedback.
+				c.events <- eddyEvent{fb: &policy.Feedback{Module: mod, Emitted: -1}}
+			}
+		}
+	}
+}
+
+func (c *Concurrent) observeCost(mod int, cost clock.Duration) {
+	old := c.costEWMA[mod].Load()
+	nw := int64(cost)
+	if old != 0 {
+		nw = (int64(cost) + 4*old) / 5
+	}
+	c.costEWMA[mod].Store(nw)
+}

@@ -1,0 +1,226 @@
+package eddy
+
+import (
+	"testing"
+
+	"repro/internal/clock"
+	"repro/internal/oracle"
+	"repro/internal/policy"
+	"repro/internal/pred"
+	"repro/internal/query"
+	"repro/internal/schema"
+	"repro/internal/source"
+	"repro/internal/tuple"
+	"repro/internal/value"
+)
+
+// intRow builds a row of integer values.
+func intRow(vs ...int64) tuple.Row {
+	r := make(tuple.Row, len(vs))
+	for i, v := range vs {
+		r[i] = value.NewInt(v)
+	}
+	return r
+}
+
+// rowsOf builds rows from int matrices.
+func rowsOf(m [][]int64) []tuple.Row {
+	out := make([]tuple.Row, len(m))
+	for i, vs := range m {
+		out[i] = intRow(vs...)
+	}
+	return out
+}
+
+// scanAM declares a plain scan with the given inter-arrival pacing.
+func scanAM(table int, data *source.Table, inter clock.Duration) query.AMDecl {
+	return query.AMDecl{Table: table, Kind: query.Scan, Data: data,
+		ScanSpec: source.ScanSpec{InterArrival: inter}}
+}
+
+// indexAM declares an index AM on the given key columns.
+func indexAM(table int, data *source.Table, keyCols []int, lat clock.Duration, par int) query.AMDecl {
+	return query.AMDecl{Table: table, Kind: query.Index, Data: data,
+		IndexSpec: source.IndexSpec{KeyCols: keyCols, Latency: lat, Parallel: par}}
+}
+
+// runAndCheck executes the query under the router options and compares the
+// output multiset against the brute-force oracle; it also asserts that the
+// router never got stuck and no duplicates arose (Theorems 1 and 2).
+func runAndCheck(t *testing.T, q *query.Q, opts Options) []Output {
+	t.Helper()
+	r, err := NewRouter(q, opts)
+	if err != nil {
+		t.Fatalf("NewRouter: %v", err)
+	}
+	sim := NewSim(r)
+	outs, err := sim.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if r.Stuck() != 0 {
+		t.Errorf("router stuck-dropped %d tuples", r.Stuck())
+	}
+	got := make(oracle.Result)
+	for _, o := range outs {
+		got[o.T.ResultKey()]++
+	}
+	want := oracle.Compute(q)
+	missing, extra := oracle.Diff(want, got)
+	if len(missing) > 0 {
+		t.Errorf("missing %d results, e.g. %q (got %d, want %d)", len(missing), missing[0], len(got), len(want))
+	}
+	if len(extra) > 0 {
+		t.Errorf("extra/duplicate %d results, e.g. %q", len(extra), extra[0])
+	}
+	return outs
+}
+
+// twoTableQuery is R(key,a) ⋈ S(x,y) on R.a = S.x with scans on both.
+func twoTableQuery(t *testing.T) *query.Q {
+	t.Helper()
+	rT := schema.MustTable("R", schema.IntCol("key"), schema.IntCol("a"))
+	sT := schema.MustTable("S", schema.IntCol("x"), schema.IntCol("y"))
+	rData := source.MustTable(rT, rowsOf([][]int64{{1, 10}, {2, 20}, {3, 10}, {4, 30}}))
+	sData := source.MustTable(sT, rowsOf([][]int64{{10, 100}, {20, 200}, {40, 400}, {10, 101}}))
+	return query.MustNew(
+		[]*schema.Table{rT, sT},
+		[]pred.P{pred.EquiJoin(0, 1, 1, 0)},
+		[]query.AMDecl{
+			scanAM(0, rData, clock.Millisecond),
+			scanAM(1, sData, clock.Millisecond),
+		},
+	)
+}
+
+func TestTwoTableSymmetricHashJoin(t *testing.T) {
+	outs := runAndCheck(t, twoTableQuery(t), Options{})
+	if len(outs) != 5 {
+		t.Fatalf("got %d results, want 5", len(outs))
+	}
+}
+
+func TestTwoTableWithSelection(t *testing.T) {
+	rT := schema.MustTable("R", schema.IntCol("key"), schema.IntCol("a"))
+	sT := schema.MustTable("S", schema.IntCol("x"), schema.IntCol("y"))
+	rData := source.MustTable(rT, rowsOf([][]int64{{1, 10}, {2, 20}, {3, 10}}))
+	sData := source.MustTable(sT, rowsOf([][]int64{{10, 100}, {20, 200}}))
+	q := query.MustNew(
+		[]*schema.Table{rT, sT},
+		[]pred.P{
+			pred.EquiJoin(0, 1, 1, 0),
+			pred.Selection(0, 0, pred.Le, value.NewInt(2)),   // R.key <= 2
+			pred.Selection(1, 1, pred.Lt, value.NewInt(150)), // S.y < 150
+		},
+		[]query.AMDecl{
+			scanAM(0, rData, clock.Millisecond),
+			scanAM(1, sData, clock.Millisecond),
+		},
+	)
+	outs := runAndCheck(t, q, Options{})
+	if len(outs) != 1 {
+		t.Fatalf("got %d results, want 1", len(outs))
+	}
+}
+
+func TestSingleTableSelection(t *testing.T) {
+	rT := schema.MustTable("R", schema.IntCol("key"), schema.IntCol("a"))
+	rData := source.MustTable(rT, rowsOf([][]int64{{1, 10}, {2, 20}, {3, 30}}))
+	q := query.MustNew(
+		[]*schema.Table{rT},
+		[]pred.P{pred.Selection(0, 1, pred.Ge, value.NewInt(20))},
+		[]query.AMDecl{scanAM(0, rData, clock.Millisecond)},
+	)
+	outs := runAndCheck(t, q, Options{})
+	if len(outs) != 2 {
+		t.Fatalf("got %d results, want 2", len(outs))
+	}
+}
+
+func TestThreeTableChain(t *testing.T) {
+	// R(k,a) ⋈ S(x,y) ⋈ T(z,w): R.a=S.x and S.y=T.z.
+	rT := schema.MustTable("R", schema.IntCol("k"), schema.IntCol("a"))
+	sT := schema.MustTable("S", schema.IntCol("x"), schema.IntCol("y"))
+	tT := schema.MustTable("T", schema.IntCol("z"), schema.IntCol("w"))
+	rData := source.MustTable(rT, rowsOf([][]int64{{1, 10}, {2, 20}, {3, 10}}))
+	sData := source.MustTable(sT, rowsOf([][]int64{{10, 5}, {20, 6}, {10, 7}}))
+	tData := source.MustTable(tT, rowsOf([][]int64{{5, 50}, {6, 60}, {7, 70}, {5, 51}}))
+	q := query.MustNew(
+		[]*schema.Table{rT, sT, tT},
+		[]pred.P{pred.EquiJoin(0, 1, 1, 0), pred.EquiJoin(1, 1, 2, 0)},
+		[]query.AMDecl{
+			scanAM(0, rData, clock.Millisecond),
+			scanAM(1, sData, 2*clock.Millisecond),
+			scanAM(2, tData, 500*clock.Microsecond),
+		},
+	)
+	runAndCheck(t, q, Options{})
+}
+
+func TestIndexOnlyTable(t *testing.T) {
+	// R has a scan; S only an index AM on S.x (Figure 4's scenario).
+	rT := schema.MustTable("R", schema.IntCol("key"), schema.IntCol("a"))
+	sT := schema.MustTable("S", schema.IntCol("x"), schema.IntCol("y"))
+	rData := source.MustTable(rT, rowsOf([][]int64{{1, 10}, {2, 20}, {3, 10}, {4, 99}}))
+	sData := source.MustTable(sT, rowsOf([][]int64{{10, 100}, {20, 200}, {10, 101}}))
+	q := query.MustNew(
+		[]*schema.Table{rT, sT},
+		[]pred.P{pred.EquiJoin(0, 1, 1, 0)},
+		[]query.AMDecl{
+			scanAM(0, rData, clock.Millisecond),
+			indexAM(1, sData, []int{0}, 10*clock.Millisecond, 1),
+		},
+	)
+	outs := runAndCheck(t, q, Options{})
+	if len(outs) != 5 {
+		t.Fatalf("got %d results, want 5", len(outs))
+	}
+}
+
+func TestCyclicTriangleQuery(t *testing.T) {
+	// Triangle query: R.a=S.x, S.y=T.z, T.w=R.k — cyclic join graph, no
+	// a-priori spanning tree (Section 3.4).
+	rT := schema.MustTable("R", schema.IntCol("k"), schema.IntCol("a"))
+	sT := schema.MustTable("S", schema.IntCol("x"), schema.IntCol("y"))
+	tT := schema.MustTable("T", schema.IntCol("z"), schema.IntCol("w"))
+	rData := source.MustTable(rT, rowsOf([][]int64{{1, 10}, {2, 20}, {3, 10}}))
+	sData := source.MustTable(sT, rowsOf([][]int64{{10, 5}, {20, 6}, {10, 6}}))
+	tData := source.MustTable(tT, rowsOf([][]int64{{5, 1}, {6, 2}, {6, 3}, {5, 2}}))
+	q := query.MustNew(
+		[]*schema.Table{rT, sT, tT},
+		[]pred.P{
+			pred.EquiJoin(0, 1, 1, 0),
+			pred.EquiJoin(1, 1, 2, 0),
+			pred.EquiJoin(2, 1, 0, 0),
+		},
+		[]query.AMDecl{
+			scanAM(0, rData, clock.Millisecond),
+			scanAM(1, sData, clock.Millisecond),
+			scanAM(2, tData, clock.Millisecond),
+		},
+	)
+	runAndCheck(t, q, Options{})
+}
+
+func TestCompetitiveScans(t *testing.T) {
+	// Two scan AMs on R deliver the same data; set-semantics dedup in the
+	// SteM must keep results exact (Section 3.2).
+	q := twoTableQuery(t)
+	rDup := q.AMs[0]
+	rDup.ScanSpec = source.ScanSpec{InterArrival: 3 * clock.Millisecond}
+	q2 := query.MustNew(q.Tables, q.Preds, append([]query.AMDecl{rDup}, q.AMs...))
+	runAndCheck(t, q2, Options{})
+}
+
+func TestPoliciesAgreeOnResults(t *testing.T) {
+	pols := map[string]func() policy.Policy{
+		"fixed":       func() policy.Policy { return policy.NewFixed() },
+		"lottery":     func() policy.Policy { return policy.NewLottery(42) },
+		"benefitcost": func() policy.Policy { return policy.NewBenefitCost(7) },
+	}
+	for name, mk := range pols {
+		t.Run(name, func(t *testing.T) {
+			runAndCheck(t, twoTableQuery(t), Options{Policy: mk()})
+		})
+	}
+}

@@ -1,0 +1,126 @@
+package eddy
+
+import (
+	"testing"
+
+	"repro/internal/clock"
+	"repro/internal/pred"
+	"repro/internal/query"
+	"repro/internal/schema"
+	"repro/internal/source"
+	"repro/internal/tuple"
+	"repro/internal/value"
+)
+
+// TestFigure4_RendezvousBufferAndCache reproduces the Figure 4 execution of
+// an R ⋈ S query where S has only index access methods, checking the two
+// SteM roles Section 3.3 names:
+//
+//   - SteM(R) is a rendezvous buffer: probe tuples wait there (as built
+//     state) until their matches come back from the index, at which point
+//     the matches probe SteM(R) and join with every pending R tuple.
+//   - SteM(S) is a cache on index lookups: once the matches and EOT for a
+//     binding are stored, later R tuples with the same binding are answered
+//     from the SteM without any further remote work.
+func TestFigure4_RendezvousBufferAndCache(t *testing.T) {
+	rT := schema.MustTable("R", schema.IntCol("key"), schema.IntCol("a"))
+	sT := schema.MustTable("S", schema.IntCol("x"), schema.IntCol("y"))
+	// Three R tuples share a=10; the fourth has a=20.
+	rData := source.MustTable(rT, []tuple.Row{
+		{value.NewInt(1), value.NewInt(10)},
+		{value.NewInt(2), value.NewInt(10)},
+		{value.NewInt(3), value.NewInt(20)},
+		{value.NewInt(4), value.NewInt(10)},
+	})
+	sData := source.MustTable(sT, []tuple.Row{
+		{value.NewInt(10), value.NewInt(100)},
+		{value.NewInt(10), value.NewInt(101)},
+		{value.NewInt(20), value.NewInt(200)},
+	})
+	q := query.MustNew([]*schema.Table{rT, sT},
+		[]pred.P{pred.EquiJoin(0, 1, 1, 0)},
+		[]query.AMDecl{
+			// R's scan is fast; the index is slow, so all three a=10 R
+			// tuples are pending in SteM(R) before any match returns.
+			{Table: 0, Kind: query.Scan, Data: rData,
+				ScanSpec: source.ScanSpec{InterArrival: clock.Millisecond}},
+			{Table: 1, Kind: query.Index, Data: sData,
+				IndexSpec: source.IndexSpec{KeyCols: []int{0}, Latency: clock.Second, Parallel: 1}},
+		})
+	r, err := NewRouter(q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs, err := NewSim(r).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 R tuples × 2 S matches for a=10, plus 1 × 1 for a=20.
+	if len(outs) != 7 {
+		t.Fatalf("got %d results, want 7", len(outs))
+	}
+	am := r.AMs()[1]
+	st := am.Stats()
+	// Cache + rendezvous: exactly one remote lookup per distinct binding;
+	// the two extra a=10 probes were suppressed/cached.
+	if st.Probes != 2 {
+		t.Errorf("remote probes = %d, want 2 (one per distinct a)", st.Probes)
+	}
+	if st.DedupProbes == 0 {
+		t.Error("expected suppressed duplicate probes (rendezvous at SteM(R))")
+	}
+	// The matches for a=10 arrive once but join all three pending R tuples:
+	// that only works if they found them in SteM(R).
+	sR := r.SteMs()[0]
+	if sR.Stats().Builds != 4 {
+		t.Errorf("SteM(R) builds = %d, want 4 (the rendezvous state)", sR.Stats().Builds)
+	}
+	// And SteM(S) now caches every fetched S row.
+	if r.SteMs()[1].Size() != 3 {
+		t.Errorf("SteM(S) cache size = %d, want 3", r.SteMs()[1].Size())
+	}
+}
+
+// TestInconsistentMirrors documents the union semantics of competitive
+// access methods over sources that disagree: the shared SteM's set-semantics
+// dedup makes the effective relation the union of the mirrors (the paper
+// notes identifying duplicates across "different, possibly inconsistent, Web
+// sources" is handled with set semantics, Section 3.2).
+func TestInconsistentMirrors(t *testing.T) {
+	rT := schema.MustTable("R", schema.IntCol("key"), schema.IntCol("a"))
+	sT := schema.MustTable("S", schema.IntCol("x"), schema.IntCol("y"))
+	mirrorA := source.MustTable(rT, []tuple.Row{
+		{value.NewInt(1), value.NewInt(10)},
+		{value.NewInt(2), value.NewInt(20)},
+	})
+	mirrorB := source.MustTable(rT, []tuple.Row{
+		{value.NewInt(2), value.NewInt(20)}, // overlap
+		{value.NewInt(3), value.NewInt(10)}, // only in B
+	})
+	sData := source.MustTable(sT, []tuple.Row{
+		{value.NewInt(10), value.NewInt(100)},
+		{value.NewInt(20), value.NewInt(200)},
+	})
+	q := query.MustNew([]*schema.Table{rT, sT},
+		[]pred.P{pred.EquiJoin(0, 1, 1, 0)},
+		[]query.AMDecl{
+			{Table: 0, Kind: query.Scan, Data: mirrorA, ScanSpec: source.ScanSpec{InterArrival: clock.Millisecond}},
+			{Table: 0, Kind: query.Scan, Data: mirrorB, ScanSpec: source.ScanSpec{InterArrival: clock.Millisecond}},
+			{Table: 1, Kind: query.Scan, Data: sData, ScanSpec: source.ScanSpec{InterArrival: clock.Millisecond}},
+		})
+	r, err := NewRouter(q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs, err := NewSim(r).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Union of mirrors: keys 1,2,3 each join exactly once.
+	if len(outs) != 3 {
+		t.Fatalf("got %d results, want 3 (union of mirrors, overlap deduplicated)", len(outs))
+	}
+	if d := r.SteMs()[0].Stats().DupBuilds; d != 1 {
+		t.Errorf("dup builds = %d, want 1 (the overlapping row)", d)
+	}
+}

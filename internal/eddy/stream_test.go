@@ -1,0 +1,138 @@
+package eddy
+
+import (
+	"testing"
+
+	"repro/internal/clock"
+	"repro/internal/pred"
+	"repro/internal/query"
+	"repro/internal/schema"
+	"repro/internal/source"
+	"repro/internal/tuple"
+	"repro/internal/value"
+)
+
+// streamQuery is a two-stream equi-join on a group column; scans carry only
+// placeholder rows because the test injects the stream itself.
+func streamQuery(t *testing.T, window int) (*query.Q, *Router) {
+	t.Helper()
+	aT := schema.MustTable("A", schema.IntCol("seq"), schema.IntCol("g"))
+	bT := schema.MustTable("B", schema.IntCol("seq"), schema.IntCol("g"))
+	// Empty scans: streams are fed via Sim.Inject.
+	aData := source.MustTable(aT, nil)
+	bData := source.MustTable(bT, nil)
+	q := query.MustNew([]*schema.Table{aT, bT},
+		[]pred.P{pred.EquiJoin(0, 1, 1, 1)},
+		[]query.AMDecl{
+			{Table: 0, Kind: query.Scan, Data: aData, ScanSpec: source.ScanSpec{InterArrival: clock.Millisecond}},
+			{Table: 1, Kind: query.Scan, Data: bData, ScanSpec: source.ScanSpec{InterArrival: clock.Millisecond}},
+		})
+	opts := Options{}
+	if window > 0 {
+		opts.WindowFor = func(int) int { return window }
+	}
+	r, err := NewRouter(q, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q, r
+}
+
+func injectStreams(sim *Sim, n int) {
+	for i := 0; i < n; i++ {
+		at := clock.Time(int64(i+1) * int64(10*clock.Millisecond))
+		a := tuple.NewSingleton(2, 0, tuple.Row{value.NewInt(int64(i)), value.NewInt(int64(i % 4))})
+		b := tuple.NewSingleton(2, 1, tuple.Row{value.NewInt(int64(i)), value.NewInt(int64((i + 1) % 4))})
+		sim.Inject(a, at)
+		sim.Inject(b, at)
+	}
+}
+
+// TestStreamingJoinViaInject drives an unbounded-stream-style join through
+// Sim.Inject and a deadline, the CACQ/PSOUP usage pattern of SteMs.
+func TestStreamingJoinViaInject(t *testing.T) {
+	_, r := streamQuery(t, 0)
+	sim := NewSim(r)
+	injectStreams(sim, 100)
+	outs, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every (a_i, b_j) with i%4 == (j+1)%4 joins: 25*25 per residue * 4.
+	if len(outs) != 2500 {
+		t.Fatalf("got %d results, want 2500", len(outs))
+	}
+}
+
+// TestWindowedStreamBoundsStateAndResults verifies eviction keeps state
+// bounded and prunes old pairings.
+func TestWindowedStreamBoundsStateAndResults(t *testing.T) {
+	_, r := streamQuery(t, 8)
+	sim := NewSim(r)
+	injectStreams(sim, 100)
+	outs, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) == 0 || len(outs) >= 2500 {
+		t.Fatalf("windowed join got %d results, want 0 < n < 2500", len(outs))
+	}
+	for _, s := range r.SteMs() {
+		if s.Size() > 8 {
+			t.Errorf("SteM %s holds %d rows, window is 8", s.Name(), s.Size())
+		}
+	}
+	// Evictions actually happened.
+	total := uint64(0)
+	for _, s := range r.SteMs() {
+		total += s.Stats().Evictions
+	}
+	if total == 0 {
+		t.Error("no evictions recorded")
+	}
+}
+
+// TestDeadlineCutsRun verifies the simulation deadline stops mid-stream.
+func TestDeadlineCutsRun(t *testing.T) {
+	_, r := streamQuery(t, 0)
+	sim := NewSim(r)
+	sim.Deadline = clock.Time(200 * clock.Millisecond) // 20 of 100 injections
+	injectStreams(sim, 100)
+	outs, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := 2500
+	if len(outs) == 0 || len(outs) >= full/2 {
+		t.Errorf("deadline run got %d results", len(outs))
+	}
+}
+
+// TestMaxEventsGuard verifies the runaway-loop guard trips.
+func TestMaxEventsGuard(t *testing.T) {
+	_, r := streamQuery(t, 0)
+	sim := NewSim(r)
+	sim.MaxEvents = 10
+	injectStreams(sim, 100)
+	if _, err := sim.Run(); err == nil {
+		t.Fatal("MaxEvents guard did not trip")
+	}
+}
+
+// TestSkipBuildValidation covers the Section 3.5 mode's preconditions.
+func TestSkipBuildValidation(t *testing.T) {
+	q := twoTableQuery(t)
+	if _, err := NewRouter(q, Options{SkipBuild: true, SkipBuildTable: 9}); err == nil {
+		t.Error("out-of-range skip table must be rejected")
+	}
+	// Add an index AM to R: multiple AMs on the skip table are illegal.
+	qBad := query.MustNew(q.Tables, q.Preds, append(append([]query.AMDecl{}, q.AMs...),
+		query.AMDecl{Table: 0, Kind: query.Index, Data: q.AMs[0].Data,
+			IndexSpec: source.IndexSpec{KeyCols: []int{1}, Latency: clock.Millisecond}}))
+	if _, err := NewRouter(qBad, Options{SkipBuild: true, SkipBuildTable: 0}); err == nil {
+		t.Error("skip table with an index AM must be rejected")
+	}
+	if _, err := NewRouter(q, Options{SkipBuild: true, SkipBuildTable: 0}); err != nil {
+		t.Errorf("legal skip-build rejected: %v", err)
+	}
+}

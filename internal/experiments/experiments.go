@@ -1,0 +1,61 @@
+// Package experiments regenerates every figure and table of the paper's
+// evaluation (Section 4), plus measurable versions of the adaptation claims
+// the paper states but relegates to the full technical report. Each
+// experiment returns the series behind one figure together with a formatted
+// text rendering, and is exercised both by cmd/experiments and by the
+// benchmark harness at the repository root.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/clock"
+	"repro/internal/eddy"
+	"repro/internal/stats"
+	"repro/internal/tuple"
+)
+
+// Result is one regenerated figure or table.
+type Result struct {
+	// ID is the paper artifact, e.g. "fig7".
+	ID string
+	// Title describes what the paper shows.
+	Title string
+	// Series are the measured curves.
+	Series []*stats.Series
+	// Summary lines give the shape-level findings (who wins, crossovers).
+	Summary []string
+	// End is the time horizon of the run.
+	End clock.Time
+}
+
+// Render formats the result as the textual analogue of the paper's figure.
+func (r *Result) Render(samples int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	if len(r.Series) > 0 {
+		b.WriteString(stats.Table(r.End, samples, r.Series...))
+	}
+	for _, s := range r.Summary {
+		fmt.Fprintf(&b, "  %s\n", s)
+	}
+	return b.String()
+}
+
+// runCollect executes a routing on the simulation engine, collecting the
+// cumulative-results series and invoking extra hooks.
+func runCollect(r eddy.Routing, name string, deadline clock.Time,
+	hook func(sim *eddy.Sim)) (*stats.Series, *eddy.Sim, error) {
+	sim := eddy.NewSim(r)
+	sim.Deadline = deadline
+	series := stats.NewSeries(name)
+	sim.OnOutput = func(_ *tuple.Tuple, at clock.Time) { series.Inc(at) }
+	if hook != nil {
+		hook(sim)
+	}
+	if _, err := sim.Run(); err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", name, err)
+	}
+	return series, sim, nil
+}

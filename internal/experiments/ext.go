@@ -1,0 +1,369 @@
+// ext.go makes the paper's remaining adaptation claims (Section 4's salient
+// points 2, 3 and 5, whose full experiments live in the technical report
+// [21]) measurable:
+//
+//   - Competitive access methods: the eddy learns to route probes to the
+//     faster of two index AMs over mirrored sources, while the shared SteM
+//     keeps the competition's redundant work near zero (point 2).
+//   - Dynamic spanning trees: on a cyclic query with a stalled source, the
+//     SteM architecture keeps producing partial results across the join
+//     edge a static spanning tree would have discarded (point 3).
+//   - Adaptive reordering: the eddy learns to apply the more selective of
+//     two selections first (point 5).
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/clock"
+	"repro/internal/eddy"
+	"repro/internal/exec"
+	"repro/internal/policy"
+	"repro/internal/pred"
+	"repro/internal/query"
+	"repro/internal/schema"
+	"repro/internal/source"
+	"repro/internal/stats"
+	"repro/internal/tuple"
+	"repro/internal/value"
+	"repro/internal/workload"
+)
+
+// CompetitiveConfig parameterizes the competitive-AM experiment.
+type CompetitiveConfig struct {
+	Rows        int
+	DistinctA   int
+	FastLatency clock.Duration
+	SlowLatency clock.Duration
+	Seed        int64
+}
+
+func (c *CompetitiveConfig) defaults() {
+	if c.Rows == 0 {
+		c.Rows = 600
+	}
+	if c.DistinctA == 0 {
+		c.DistinctA = 150
+	}
+	if c.FastLatency == 0 {
+		c.FastLatency = 200 * clock.Millisecond
+	}
+	if c.SlowLatency == 0 {
+		c.SlowLatency = 2 * clock.Second
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// Competitive runs R ⋈ S where S is served by two competing index AMs — a
+// fast mirror and a slow mirror — three ways: forced-slow, forced-fast, and
+// with the eddy choosing. The eddy should approach the forced-fast
+// completion while issuing most probes to the fast mirror, and the shared
+// SteM should keep total remote lookups near the number of distinct keys.
+func Competitive(c CompetitiveConfig) (*Result, error) {
+	c.defaults()
+	build := func(useSlow, useFast bool) *query.Q {
+		rData := workload.RTable(workload.RSpec{Rows: c.Rows, DistinctA: c.DistinctA, Seed: c.Seed})
+		sData := workload.STable(c.DistinctA, 0)
+		ams := []query.AMDecl{{Table: 0, Kind: query.Scan, Data: rData,
+			ScanSpec: source.ScanSpec{InterArrival: 20 * clock.Millisecond}}}
+		if useSlow {
+			ams = append(ams, query.AMDecl{Table: 1, Kind: query.Index, Data: sData, Name: "AM(S/slow)",
+				IndexSpec: source.IndexSpec{KeyCols: []int{0}, Latency: c.SlowLatency, Parallel: 1}})
+		}
+		if useFast {
+			ams = append(ams, query.AMDecl{Table: 1, Kind: query.Index, Data: sData, Name: "AM(S/fast)",
+				IndexSpec: source.IndexSpec{KeyCols: []int{0}, Latency: c.FastLatency, Parallel: 1}})
+		}
+		return query.MustNew(
+			[]*schema.Table{rData.Schema, sData.Schema},
+			[]pred.P{pred.EquiJoin(0, 1, 1, 0)},
+			ams,
+		)
+	}
+	run := func(q *query.Q, name string) (*stats.Series, *eddy.Router, error) {
+		r, err := eddy.NewRouter(q, eddy.Options{Policy: policy.NewBenefitCost(c.Seed)})
+		if err != nil {
+			return nil, nil, err
+		}
+		out, _, err := runCollect(r, name, 0, nil)
+		return out, r, err
+	}
+
+	slowOut, _, err := run(build(true, false), "slow AM only")
+	if err != nil {
+		return nil, err
+	}
+	fastOut, _, err := run(build(false, true), "fast AM only")
+	if err != nil {
+		return nil, err
+	}
+	bothOut, bothR, err := run(build(true, true), "competitive (eddy chooses)")
+	if err != nil {
+		return nil, err
+	}
+
+	var slowProbes, fastProbes uint64
+	for _, a := range bothR.AMs() {
+		switch a.Name() {
+		case "AM(S/slow)":
+			slowProbes = a.Stats().Probes
+		case "AM(S/fast)":
+			fastProbes = a.Stats().Probes
+		}
+	}
+
+	end := slowOut.End()
+	for _, s := range []*stats.Series{fastOut, bothOut} {
+		if s.End() > end {
+			end = s.End()
+		}
+	}
+	res := &Result{
+		ID:     "ext-competitive",
+		Title:  "competitive index AMs over mirrored sources: the eddy learns the fast one",
+		Series: []*stats.Series{bothOut, fastOut, slowOut},
+		End:    end,
+	}
+	res.Summary = append(res.Summary,
+		fmt.Sprintf("final results: competitive=%.0f fast-only=%.0f slow-only=%.0f (identical)",
+			bothOut.Final(), fastOut.Final(), slowOut.Final()),
+		fmt.Sprintf("completion: competitive=%.1fs vs fast-only=%.1fs vs slow-only=%.1fs",
+			bothOut.End().Seconds(), fastOut.End().Seconds(), slowOut.End().Seconds()),
+		fmt.Sprintf("probe split under competition: fast=%d slow=%d (total %d ≈ %d distinct keys — the shared SteM absorbs the redundancy)",
+			fastProbes, slowProbes, fastProbes+slowProbes, c.DistinctA),
+	)
+	return res, nil
+}
+
+// SpanningConfig parameterizes the dynamic-spanning-tree experiment.
+type SpanningConfig struct {
+	Rows       int
+	ScanInter  clock.Duration
+	StallAfter int
+	StallFor   clock.Duration
+	Seed       int64
+}
+
+func (c *SpanningConfig) defaults() {
+	if c.Rows == 0 {
+		c.Rows = 200
+	}
+	if c.ScanInter == 0 {
+		c.ScanInter = 20 * clock.Millisecond
+	}
+	if c.StallAfter == 0 {
+		c.StallAfter = 20
+	}
+	if c.StallFor == 0 {
+		c.StallFor = 30 * clock.Second
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// Spanning runs a cyclic triangle query R⋈S⋈T (join predicates on all three
+// edges) where S's scan stalls early for a long window. The static plan uses
+// the spanning tree R–S, S–T, so while S is stalled nothing flows; the SteM
+// architecture keeps joining R and T across the third edge, delivering
+// {R,T} partial results throughout the stall (the paper's Section 3.4
+// motivation for not fixing a spanning tree).
+func Spanning(c SpanningConfig) (*Result, error) {
+	c.defaults()
+	prof := eddy.DefaultProfile()
+	build := func() *query.Q {
+		n := c.Rows
+		// R(k,a), S(x,y), T(z,w): R.a=S.x, S.y=T.z, T.w=R.k — a cycle.
+		rT := schema.MustTable("R", schema.IntCol("k"), schema.IntCol("a"))
+		sT := schema.MustTable("S", schema.IntCol("x"), schema.IntCol("y"))
+		tT := schema.MustTable("T", schema.IntCol("z"), schema.IntCol("w"))
+		rRows := make([]tuple.Row, n)
+		sRows := make([]tuple.Row, n)
+		tRows := make([]tuple.Row, n)
+		for i := 0; i < n; i++ {
+			rRows[i] = tuple.Row{value.NewInt(int64(i)), value.NewInt(int64(i))}
+			sRows[i] = tuple.Row{value.NewInt(int64(i)), value.NewInt(int64(i))}
+			tRows[i] = tuple.Row{value.NewInt(int64(i)), value.NewInt(int64(i))}
+		}
+		rData := workload.Shuffled(source.MustTable(rT, rRows), c.Seed+1)
+		sData := workload.Shuffled(source.MustTable(sT, sRows), c.Seed+2)
+		tData := workload.Shuffled(source.MustTable(tT, tRows), c.Seed+3)
+		return query.MustNew(
+			[]*schema.Table{rT, sT, tT},
+			[]pred.P{
+				pred.EquiJoin(0, 1, 1, 0), // R.a = S.x
+				pred.EquiJoin(1, 1, 2, 0), // S.y = T.z
+				pred.EquiJoin(2, 1, 0, 0), // T.w = R.k
+			},
+			[]query.AMDecl{
+				{Table: 0, Kind: query.Scan, Data: rData,
+					ScanSpec: source.ScanSpec{InterArrival: c.ScanInter}},
+				{Table: 1, Kind: query.Scan, Data: sData,
+					ScanSpec: source.ScanSpec{InterArrival: c.ScanInter,
+						Stalls: []source.Stall{{AfterRows: c.StallAfter, For: c.StallFor}}}},
+				{Table: 2, Kind: query.Scan, Data: tData,
+					ScanSpec: source.ScanSpec{InterArrival: c.ScanInter}},
+			},
+		)
+	}
+
+	rtSpan := tuple.Single(0).With(2)
+	countRT := func(sim *eddy.Sim, series *stats.Series) {
+		sim.OnEmit = func(t *tuple.Tuple, at clock.Time) {
+			if t.EOT == nil && !t.Seed && t.Span == rtSpan {
+				series.Inc(at)
+			}
+		}
+	}
+
+	// Static spanning tree R–S, S–T (SHJ pipeline; the R–T predicate is
+	// verified at the top but never used as a join edge).
+	qs := build()
+	stages, err := exec.LeftDeepSHJ(qs, []int{0, 1, 2}, prof)
+	if err != nil {
+		return nil, err
+	}
+	static, err := exec.New(exec.Config{Q: qs, Stages: stages})
+	if err != nil {
+		return nil, err
+	}
+	staticRT := stats.NewSeries("static RT partials")
+	staticOut, _, err := runCollect(static, "static results", 0, func(sim *eddy.Sim) { countRT(sim, staticRT) })
+	if err != nil {
+		return nil, err
+	}
+
+	// SteMs: all three edges available; the lottery policy spreads probes.
+	qe := build()
+	r, err := eddy.NewRouter(qe, eddy.Options{Policy: policy.NewLottery(c.Seed)})
+	if err != nil {
+		return nil, err
+	}
+	stemRT := stats.NewSeries("SteM RT partials")
+	stemOut, _, err := runCollect(r, "SteM results", 0, func(sim *eddy.Sim) { countRT(sim, stemRT) })
+	if err != nil {
+		return nil, err
+	}
+
+	end := staticOut.End()
+	if stemOut.End() > end {
+		end = stemOut.End()
+	}
+	stallStart := clock.Time(int64(c.StallAfter) * int64(c.ScanInter))
+	stallEnd := stallStart.Add(c.StallFor)
+	res := &Result{
+		ID:     "ext-spanning",
+		Title:  "cyclic query with a stalled source: dynamic vs static spanning tree",
+		Series: []*stats.Series{stemOut, staticOut, stemRT, staticRT},
+		End:    end,
+	}
+	res.Summary = append(res.Summary,
+		fmt.Sprintf("final results: SteMs=%.0f static=%.0f (identical)", stemOut.Final(), staticOut.Final()),
+		fmt.Sprintf("S stalls %.1fs–%.1fs; during the stall the SteM eddy produced %.0f {R,T} partial results via the third join edge, the static tree %.0f",
+			stallStart.Seconds(), stallEnd.Seconds(),
+			stemRT.At(stallEnd)-stemRT.At(stallStart), staticRT.At(stallEnd)-staticRT.At(stallStart)),
+		fmt.Sprintf("completion: SteMs=%.1fs static=%.1fs", stemOut.End().Seconds(), staticOut.End().Seconds()),
+	)
+	return res, nil
+}
+
+// ReorderConfig parameterizes the selection-ordering experiment.
+type ReorderConfig struct {
+	Rows     int
+	SMCost   clock.Duration
+	Seed     int64
+	PassHigh int64 // selection 0 passes values < PassHigh (of 100): ~90%
+	PassLow  int64 // selection 1 passes values < PassLow (of 100): ~5%
+}
+
+func (c *ReorderConfig) defaults() {
+	if c.Rows == 0 {
+		c.Rows = 2000
+	}
+	if c.SMCost == 0 {
+		c.SMCost = 5 * clock.Millisecond
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.PassHigh == 0 {
+		c.PassHigh = 90
+	}
+	if c.PassLow == 0 {
+		c.PassLow = 5
+	}
+}
+
+// Reorder runs a single-table query with two selections of very different
+// selectivity. The fixed policy applies them in declaration order (the
+// unselective one first); the benefit/cost policy learns to apply the
+// selective one first, cutting total selection work — the paper's point 5.
+func Reorder(c ReorderConfig) (*Result, error) {
+	c.defaults()
+	build := func() *query.Q {
+		wData := workload.Uniform("W", c.Rows, 3, 100, c.Seed)
+		return query.MustNew(
+			[]*schema.Table{wData.Schema},
+			[]pred.P{
+				pred.Selection(0, 1, pred.Lt, value.NewInt(c.PassHigh)), // ~90% pass
+				pred.Selection(0, 2, pred.Lt, value.NewInt(c.PassLow)),  // ~5% pass
+			},
+			[]query.AMDecl{{Table: 0, Kind: query.Scan, Data: wData,
+				ScanSpec: source.ScanSpec{InterArrival: clock.Millisecond}}},
+		)
+	}
+	prof := eddy.DefaultProfile()
+	prof.SMCost = c.SMCost
+	run := func(p policy.Policy, name string) (*stats.Series, *eddy.Router, uint64, error) {
+		r, err := eddy.NewRouter(build(), eddy.Options{Policy: p, Profile: &prof})
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		var smVisits uint64
+		out, _, err := runCollect(r, name, 0, func(sim *eddy.Sim) {
+			smMods := make(map[int]bool)
+			for i, m := range r.Modules() {
+				for _, s := range r.SMs() {
+					if m == s {
+						smMods[i] = true
+					}
+				}
+			}
+			sim.OnProcess = func(mod int, _ *tuple.Tuple, _ clock.Time, _ int, _ clock.Duration) {
+				if smMods[mod] {
+					smVisits++
+				}
+			}
+		})
+		return out, r, smVisits, err
+	}
+
+	fixedOut, _, fixedVisits, err := run(policy.NewFixed(), "fixed order")
+	if err != nil {
+		return nil, err
+	}
+	adaptOut, _, adaptVisits, err := run(policy.NewBenefitCost(c.Seed), "adaptive order")
+	if err != nil {
+		return nil, err
+	}
+
+	end := fixedOut.End()
+	if adaptOut.End() > end {
+		end = adaptOut.End()
+	}
+	res := &Result{
+		ID:     "ext-reorder",
+		Title:  "adaptive selection ordering: low-selectivity predicate first",
+		Series: []*stats.Series{adaptOut, fixedOut},
+		End:    end,
+	}
+	res.Summary = append(res.Summary,
+		fmt.Sprintf("final results: adaptive=%.0f fixed=%.0f (identical)", adaptOut.Final(), fixedOut.Final()),
+		fmt.Sprintf("selection-module visits: adaptive=%d fixed=%d (adaptive learns to test the ~%d%%-pass predicate first)",
+			adaptVisits, fixedVisits, int(c.PassLow)),
+		fmt.Sprintf("completion: adaptive=%.1fs fixed=%.1fs", adaptOut.End().Seconds(), fixedOut.End().Seconds()),
+	)
+	return res, nil
+}

@@ -1,0 +1,178 @@
+// fig8.go regenerates Figure 8 (Section 4.3): query Q4
+//
+//	SELECT * FROM R, T WHERE R.key = T.key
+//
+// where T has both a scan and an asynchronous index access method, run three
+// ways: a static index join, a static symmetric hash join (scans only), and
+// the SteM architecture free to use both AMs ("hybrid").
+//
+// The paper's shape: the index join leads in the first seconds (each probe
+// returns exactly its match while the scans are still warming up), the hash
+// join catches up quadratically and wins handily overall (the scan is the
+// faster access method), and the hybrid tracks the best of the two at every
+// stage — behaving like an index join early and like a hash join late, with
+// completion only slightly behind the pure hash join because the eddy keeps
+// exploring the index with a small fraction of tuples.
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/clock"
+	"repro/internal/eddy"
+	"repro/internal/exec"
+	"repro/internal/join"
+	"repro/internal/policy"
+	"repro/internal/pred"
+	"repro/internal/query"
+	"repro/internal/schema"
+	"repro/internal/source"
+	"repro/internal/stats"
+	"repro/internal/stem"
+	"repro/internal/tuple"
+	"repro/internal/workload"
+)
+
+// Fig8Config parameterizes the Q4 experiment.
+type Fig8Config struct {
+	Rows              int            // rows in both R and T (paper: 1000)
+	RScanInterArrival clock.Duration // R is the slower scan
+	TScanInterArrival clock.Duration // T's scan ends at Rows×this (paper: ≈59s)
+	IndexLatency      clock.Duration // T's per-lookup sleep
+	Seed              int64
+}
+
+func (c *Fig8Config) defaults() {
+	if c.Rows == 0 {
+		c.Rows = 1000
+	}
+	if c.RScanInterArrival == 0 {
+		c.RScanInterArrival = 110 * clock.Millisecond
+	}
+	if c.TScanInterArrival == 0 {
+		c.TScanInterArrival = 59 * clock.Millisecond
+	}
+	if c.IndexLatency == 0 {
+		c.IndexLatency = 200 * clock.Millisecond
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// q4 builds Q4 with the requested access methods on T.
+func q4(c Fig8Config, tScan, tIndex bool) *query.Q {
+	rData := workload.Shuffled(workload.RTable(workload.RSpec{Rows: c.Rows, DistinctA: c.Rows, Seed: c.Seed}), c.Seed+10)
+	tData := workload.Shuffled(workload.TTable(c.Rows), c.Seed+20)
+	ams := []query.AMDecl{
+		{Table: 0, Kind: query.Scan, Data: rData,
+			ScanSpec: source.ScanSpec{InterArrival: c.RScanInterArrival}},
+	}
+	if tScan {
+		ams = append(ams, query.AMDecl{Table: 1, Kind: query.Scan, Data: tData,
+			ScanSpec: source.ScanSpec{InterArrival: c.TScanInterArrival}})
+	}
+	if tIndex {
+		ams = append(ams, query.AMDecl{Table: 1, Kind: query.Index, Data: tData,
+			IndexSpec: source.IndexSpec{KeyCols: []int{0}, Latency: c.IndexLatency, Parallel: 1}})
+	}
+	return query.MustNew(
+		[]*schema.Table{rData.Schema, tData.Schema},
+		[]pred.P{pred.EquiJoin(0, 0, 1, 0)}, // R.key = T.key
+		ams,
+	)
+}
+
+// Fig8 runs the three approaches and returns their results-over-time curves.
+func Fig8(c Fig8Config) (*Result, error) {
+	c.defaults()
+	prof := eddy.DefaultProfile()
+
+	// --- Static index join: scan R drives lookups into T's index.
+	qi := q4(c, false, true)
+	ij, err := join.NewIndexJoin(join.IndexJoinConfig{
+		Q: qi, ProbeSpan: tuple.Single(0), Table: 1,
+		Data: qi.AMs[1].Data, KeyCols: []int{0},
+		Latency: c.IndexLatency, CacheCost: prof.SteMProbeCost, PerMatchCost: prof.PerMatchCost,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ijBase, err := exec.New(exec.Config{Q: qi, Stages: []join.Stage{ij}})
+	if err != nil {
+		return nil, err
+	}
+	ijOut, _, err := runCollect(ijBase, "index join", 0, nil)
+	if err != nil {
+		return nil, err
+	}
+
+	// --- Static symmetric hash join over the two scans.
+	qh := q4(c, true, false)
+	stages, err := exec.LeftDeepSHJ(qh, []int{0, 1}, prof)
+	if err != nil {
+		return nil, err
+	}
+	hjBase, err := exec.New(exec.Config{Q: qh, Stages: stages})
+	if err != nil {
+		return nil, err
+	}
+	hjOut, _, err := runCollect(hjBase, "hash join", 0, nil)
+	if err != nil {
+		return nil, err
+	}
+
+	// --- Hybrid: SteMs with both AMs on T; the SteM on T bounces incomplete
+	// probes so the eddy can choose, per tuple, between the index AM and
+	// waiting for the scan (Section 4.3).
+	qs := q4(c, true, true)
+	r, err := eddy.NewRouter(qs, eddy.Options{
+		Policy:      policy.NewBenefitCost(c.Seed),
+		ProbeBounce: stem.BounceIfIndexAM,
+	})
+	if err != nil {
+		return nil, err
+	}
+	hyOut, _, err := runCollect(r, "hybrid", 0, nil)
+	if err != nil {
+		return nil, err
+	}
+	if r.Stuck() != 0 {
+		return nil, fmt.Errorf("fig8: hybrid router stuck %d", r.Stuck())
+	}
+	var indexProbes uint64
+	for _, a := range r.AMs() {
+		if a.Kind() == query.Index {
+			indexProbes += a.Stats().Probes
+		}
+	}
+
+	end := ijOut.End()
+	for _, s := range []*stats.Series{hjOut, hyOut} {
+		if s.End() > end {
+			end = s.End()
+		}
+	}
+	res := &Result{
+		ID:     "fig8",
+		Title:  "Q4 — index join vs hash join vs SteM hybrid: results over time",
+		Series: []*stats.Series{hyOut, ijOut, hjOut},
+		End:    end,
+	}
+
+	early := clock.Time(10 * clock.Second)
+	t30 := clock.Time(30 * clock.Second)
+	res.Summary = append(res.Summary,
+		fmt.Sprintf("final results: hybrid=%.0f index=%.0f hash=%.0f (must be equal)",
+			hyOut.Final(), ijOut.Final(), hjOut.Final()),
+		fmt.Sprintf("at 10s: index=%.0f hash=%.0f hybrid=%.0f (index leads early; hybrid tracks it)",
+			ijOut.At(early), hjOut.At(early), hyOut.At(early)),
+		fmt.Sprintf("at 30s: index=%.0f hash=%.0f hybrid=%.0f (hash has caught up)",
+			ijOut.At(t30), hjOut.At(t30), hyOut.At(t30)),
+		fmt.Sprintf("completion: hash=%.1fs hybrid=%.1fs index=%.1fs (hash wins handily; hybrid slightly behind hash)",
+			hjOut.End().Seconds(), hyOut.End().Seconds(), ijOut.End().Seconds()),
+		fmt.Sprintf("hybrid issued %d index probes out of %d R tuples (early exploration, then mostly scan)",
+			indexProbes, c.Rows),
+	)
+	return res, nil
+}

@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/clock"
+)
+
+func TestFig8LatencySweepTracksWinner(t *testing.T) {
+	sw, err := Fig8LatencySweep(150, []clock.Duration{30 * clock.Millisecond, 400 * clock.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sw.RowsOut) != 2 {
+		t.Fatalf("rows = %d", len(sw.RowsOut))
+	}
+	for _, l := range sw.Summary {
+		if strings.Contains(l, "WARNING") {
+			t.Errorf("hybrid failed to track the winner: %s", l)
+		}
+	}
+	if out := sw.Render(); !strings.Contains(out, "winner") {
+		t.Error("render missing header")
+	}
+}
+
+func TestFig7SelectivitySweepAdvantageGrowsWithCacheHeat(t *testing.T) {
+	sw, err := Fig7SelectivitySweep(200, []int{20, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sw.RowsOut) != 2 {
+		t.Fatalf("rows = %d", len(sw.RowsOut))
+	}
+	// Hotter cache (fewer keys) => larger SteM online advantage.
+	hot := sw.RowsOut[0].Columns["advantage"]
+	cold := sw.RowsOut[1].Columns["advantage"]
+	if hot <= cold { // lexical compare works for "N.NNx" with same width
+		t.Errorf("advantage should shrink with more keys: %s vs %s", hot, cold)
+	}
+}

@@ -1,0 +1,52 @@
+// Package flow defines the engine-agnostic module contract.
+//
+// Every query module other than the eddy — selection modules, access modules,
+// and State Modules — implements Module: a reactive state machine that
+// consumes one tuple and emits zero or more tuples back to the eddy, each
+// tagged with a delay modelling the physical work (hash probe cost, remote
+// index latency, scan pacing). Both engines drive the same modules: the
+// discrete-event simulator turns emissions into scheduled events; the
+// concurrent engine turns them into channel sends after timed waits.
+package flow
+
+import (
+	"repro/internal/clock"
+	"repro/internal/tuple"
+)
+
+// Emission is one output tuple of a module, delivered back to the eddy after
+// Delay has elapsed past the module's processing completion.
+type Emission struct {
+	T *tuple.Tuple
+	// Delay is extra latency beyond the module's service time, e.g. the
+	// round-trip of an asynchronous remote index lookup.
+	Delay clock.Duration
+}
+
+// Emit is a convenience constructor for an immediate emission.
+func Emit(t *tuple.Tuple) Emission { return Emission{T: t} }
+
+// EmitAfter is a convenience constructor for a delayed emission.
+func EmitAfter(t *tuple.Tuple, d clock.Duration) Emission { return Emission{T: t, Delay: d} }
+
+// Module is a query processing module driven by the eddy.
+//
+// Process consumes the tuple and returns the emissions it generates together
+// with the service cost of processing it. A tuple that appears in no emission
+// has been removed from the dataflow by the module (e.g. a selection dropped
+// it, or a SteM consumed a duplicate build). Process must not retain t after
+// returning unless it also stores it internally on purpose (SteMs do).
+//
+// Parallel reports the module's internal concurrency: 1 for a single-server
+// module whose queue exhibits head-of-line blocking (the effect Section 4.2
+// demonstrates inside the index join), or >1 for modules that overlap work,
+// such as access modules issuing multiple asynchronous probes (Section
+// 2.1.3). Parallel 0 means unbounded.
+type Module interface {
+	// Name identifies the module in traces and experiment output.
+	Name() string
+	// Process handles one input tuple at virtual time now.
+	Process(t *tuple.Tuple, now clock.Time) (out []Emission, cost clock.Duration)
+	// Parallel returns the module's internal service concurrency.
+	Parallel() int
+}

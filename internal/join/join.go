@@ -1,0 +1,257 @@
+// Package join implements the traditional, encapsulated join operators the
+// paper compares against: the cached index join of Figure 5 and the binary
+// symmetric hash join (SHJ) of Figure 2(i). Both are flow.Modules, so the
+// same engines drive them inside static plans and the eddy-with-join-modules
+// architecture of Figure 1(b).
+//
+// The point of the paper is precisely what these operators hide: the index
+// join serializes cache lookups behind remote index lookups in one queue
+// (the head-of-line blocking Section 4.2 measures), and the SHJ fuses its
+// build and probe halves so the eddy cannot reorder or share them.
+package join
+
+import (
+	"fmt"
+
+	"repro/internal/clock"
+	"repro/internal/flow"
+	"repro/internal/pred"
+	"repro/internal/query"
+	"repro/internal/source"
+	"repro/internal/tuple"
+)
+
+// Stage is a join operator usable in a static pipeline: a module that
+// declares which tuples it accepts.
+type Stage interface {
+	flow.Module
+	// Accepts reports whether the stage processes tuples with this state.
+	Accepts(t *tuple.Tuple) bool
+}
+
+// verifyAll evaluates every query predicate newly applicable to cat, marking
+// done bits; it reports whether all hold.
+func verifyAll(q *query.Q, cat *tuple.Tuple) bool {
+	for _, p := range q.Preds {
+		if cat.Done.Has(p.ID) || !p.ApplicableTo(cat.Span) {
+			continue
+		}
+		if !p.Eval(cat) {
+			return false
+		}
+		cat.Done = cat.Done.With(p.ID)
+	}
+	return true
+}
+
+// bindKey extracts the values of the given columns of table tab from probe t
+// via equality join predicates.
+func bindKey(q *query.Q, t *tuple.Tuple, tab int, cols []int) (tuple.Row, bool) {
+	row := make(tuple.Row, 0, len(cols))
+	for _, c := range cols {
+		found := false
+		for _, p := range q.Preds {
+			if !p.IsEquiJoin() {
+				continue
+			}
+			if p.Left.Table == tab && p.Left.Col == c && t.Span.Has(p.Right.Table) {
+				row = append(row, t.Value(p.Right.Table, p.Right.Col))
+				found = true
+				break
+			}
+			if p.Right.Table == tab && p.Right.Col == c && t.Span.Has(p.Left.Table) {
+				row = append(row, t.Value(p.Left.Table, p.Left.Col))
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, false
+		}
+	}
+	return row, true
+}
+
+// ---------------------------------------------------------------------------
+// IndexJoin
+
+// IndexJoinConfig parameterizes an index join operator.
+type IndexJoinConfig struct {
+	Q *query.Q
+	// ProbeSpan is the exact span of accepted probe tuples (the outer side).
+	ProbeSpan tuple.TableSet
+	// Table is the indexed (inner) table's query position.
+	Table int
+	// Data and KeyCols describe the remote index.
+	Data    *source.Table
+	KeyCols []int
+	// Latency is the synchronous remote lookup cost; CacheCost the local
+	// cache-lookup cost; PerMatchCost per concatenated result.
+	Latency      clock.Duration
+	CacheCost    clock.Duration
+	PerMatchCost clock.Duration
+}
+
+// IndexJoin is the traditional index join of Figure 5: a single module
+// encapsulating both a lookup cache and the remote index. Because it is one
+// single-server module, a probe that misses the cache blocks every probe
+// behind it for the full remote latency — the head-of-line blocking that
+// Section 4.2 shows SteMs eliminate.
+type IndexJoin struct {
+	cfg    IndexJoinConfig
+	index  *source.Index
+	cache  map[string][]tuple.Row
+	name   string
+	probes uint64
+}
+
+// NewIndexJoin builds the operator, constructing the remote-side index.
+func NewIndexJoin(cfg IndexJoinConfig) (*IndexJoin, error) {
+	ix, err := source.BuildIndex(cfg.Data, source.IndexSpec{KeyCols: cfg.KeyCols, Latency: cfg.Latency})
+	if err != nil {
+		return nil, err
+	}
+	return &IndexJoin{
+		cfg:   cfg,
+		index: ix,
+		cache: make(map[string][]tuple.Row),
+		name:  fmt.Sprintf("IndexJoin(%s)", cfg.Q.Tables[cfg.Table].Name),
+	}, nil
+}
+
+// Name implements flow.Module.
+func (j *IndexJoin) Name() string { return j.name }
+
+// Parallel implements flow.Module: one queue for both physical operations —
+// the encapsulation the paper breaks.
+func (j *IndexJoin) Parallel() int { return 1 }
+
+// Probes returns the number of remote index lookups issued (Figure 7(ii)).
+func (j *IndexJoin) Probes() uint64 { return j.probes }
+
+// Accepts implements Stage.
+func (j *IndexJoin) Accepts(t *tuple.Tuple) bool {
+	return !t.Seed && t.EOT == nil && t.Span == j.cfg.ProbeSpan
+}
+
+// Process implements flow.Module: cache lookup, then on a miss a blocking
+// remote lookup, then concatenation.
+func (j *IndexJoin) Process(t *tuple.Tuple, now clock.Time) ([]flow.Emission, clock.Duration) {
+	vals, ok := bindKey(j.cfg.Q, t, j.cfg.Table, j.cfg.KeyCols)
+	if !ok {
+		panic(fmt.Sprintf("join: unbindable probe %s at %s", t, j.name))
+	}
+	key := vals.Key()
+	cost := j.cfg.CacheCost
+	rows, hit := j.cache[key]
+	if !hit {
+		rows = j.index.Lookup(vals)
+		j.cache[key] = rows
+		j.probes++
+		cost += j.cfg.Latency // synchronous: blocks the module's one queue
+	}
+	n := len(j.cfg.Q.Tables)
+	var out []flow.Emission
+	for _, r := range rows {
+		s := tuple.NewSingleton(n, j.cfg.Table, r)
+		cat := t.Concat(s)
+		if !verifyAll(j.cfg.Q, cat) {
+			continue
+		}
+		out = append(out, flow.Emit(cat))
+	}
+	cost += clock.Duration(len(out)) * j.cfg.PerMatchCost
+	return out, cost
+}
+
+// ---------------------------------------------------------------------------
+// Symmetric hash join
+
+// SHJConfig parameterizes a binary symmetric hash join.
+type SHJConfig struct {
+	Q *query.Q
+	// Left and Right are the exact spans of the two inputs; for a pipeline
+	// of binary SHJs the left span of an upper join is the union span of the
+	// join below it (intermediate results are materialized, Section 2.3).
+	Left, Right tuple.TableSet
+	// LeftRef/RightRef are the hash columns (from an equality join predicate
+	// linking the two sides).
+	LeftRef, RightRef pred.ColRef
+	BuildCost         clock.Duration
+	ProbeCost         clock.Duration
+	PerMatchCost      clock.Duration
+}
+
+// SHJ is a pipelining binary symmetric hash join: each input tuple is built
+// into its side's hash table and immediately probed into the other side's.
+// Build and probe are fused in one module visit, so no timestamping is
+// needed — but nothing inside is visible to the eddy.
+type SHJ struct {
+	cfg   SHJConfig
+	left  map[string][]*tuple.Tuple
+	right map[string][]*tuple.Tuple
+	name  string
+}
+
+// NewSHJ builds a symmetric hash join module.
+func NewSHJ(cfg SHJConfig) *SHJ {
+	return &SHJ{
+		cfg:   cfg,
+		left:  make(map[string][]*tuple.Tuple),
+		right: make(map[string][]*tuple.Tuple),
+		name:  fmt.Sprintf("SHJ(%s⋈%s)", cfg.Left, cfg.Right),
+	}
+}
+
+// Name implements flow.Module.
+func (j *SHJ) Name() string { return j.name }
+
+// Parallel implements flow.Module.
+func (j *SHJ) Parallel() int { return 1 }
+
+// Accepts implements Stage.
+func (j *SHJ) Accepts(t *tuple.Tuple) bool {
+	if t.Seed || t.EOT != nil {
+		return false
+	}
+	return t.Span == j.cfg.Left || t.Span == j.cfg.Right
+}
+
+// Size returns the total number of tuples materialized in both hash tables.
+func (j *SHJ) Size() int {
+	n := 0
+	for _, v := range j.left {
+		n += len(v)
+	}
+	for _, v := range j.right {
+		n += len(v)
+	}
+	return n
+}
+
+// Process implements flow.Module: build into own side, probe the other.
+func (j *SHJ) Process(t *tuple.Tuple, now clock.Time) ([]flow.Emission, clock.Duration) {
+	var own, other map[string][]*tuple.Tuple
+	var ownRef pred.ColRef
+	switch t.Span {
+	case j.cfg.Left:
+		own, other, ownRef = j.left, j.right, j.cfg.LeftRef
+	case j.cfg.Right:
+		own, other, ownRef = j.right, j.left, j.cfg.RightRef
+	default:
+		panic(fmt.Sprintf("join: %s got tuple spanning %s", j.name, t.Span))
+	}
+	key := t.Value(ownRef.Table, ownRef.Col).Key()
+	own[key] = append(own[key], t)
+
+	var out []flow.Emission
+	for _, o := range other[key] {
+		cat := t.Concat(o)
+		if !verifyAll(j.cfg.Q, cat) {
+			continue
+		}
+		out = append(out, flow.Emit(cat))
+	}
+	cost := j.cfg.BuildCost + j.cfg.ProbeCost + clock.Duration(len(out))*j.cfg.PerMatchCost
+	return out, cost
+}

@@ -1,0 +1,166 @@
+package join
+
+import (
+	"testing"
+
+	"repro/internal/clock"
+	"repro/internal/pred"
+	"repro/internal/query"
+	"repro/internal/schema"
+	"repro/internal/source"
+	"repro/internal/tuple"
+	"repro/internal/value"
+)
+
+func row(vs ...int64) tuple.Row {
+	r := make(tuple.Row, len(vs))
+	for i, v := range vs {
+		r[i] = value.NewInt(v)
+	}
+	return r
+}
+
+func fixtureQ(t *testing.T) *query.Q {
+	t.Helper()
+	rT := schema.MustTable("R", schema.IntCol("k"), schema.IntCol("a"))
+	sT := schema.MustTable("S", schema.IntCol("x"), schema.IntCol("y"))
+	rData := source.MustTable(rT, []tuple.Row{row(1, 10), row(2, 20)})
+	sData := source.MustTable(sT, []tuple.Row{row(10, 100), row(10, 101), row(20, 200)})
+	return query.MustNew([]*schema.Table{rT, sT},
+		[]pred.P{pred.EquiJoin(0, 1, 1, 0)},
+		[]query.AMDecl{
+			{Table: 0, Kind: query.Scan, Data: rData, ScanSpec: source.ScanSpec{InterArrival: clock.Millisecond}},
+			{Table: 1, Kind: query.Scan, Data: sData, ScanSpec: source.ScanSpec{InterArrival: clock.Millisecond}},
+		})
+}
+
+func TestIndexJoinCacheMissThenHit(t *testing.T) {
+	q := fixtureQ(t)
+	sData := q.AMs[1].Data
+	j, err := NewIndexJoin(IndexJoinConfig{
+		Q: q, ProbeSpan: tuple.Single(0), Table: 1,
+		Data: sData, KeyCols: []int{0},
+		Latency: 100 * clock.Millisecond, CacheCost: clock.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := tuple.NewSingleton(2, 0, row(1, 10))
+	out, cost := j.Process(r1, 0)
+	if len(out) != 2 {
+		t.Fatalf("miss returned %d results, want 2", len(out))
+	}
+	if cost < 100*clock.Millisecond {
+		t.Error("cache miss must pay the remote latency (head-of-line blocking)")
+	}
+	if j.Probes() != 1 {
+		t.Errorf("Probes = %d", j.Probes())
+	}
+	// Same key again: hit, cheap, no new probe.
+	r3 := tuple.NewSingleton(2, 0, row(3, 10))
+	out, cost = j.Process(r3, 0)
+	if len(out) != 2 || cost >= 100*clock.Millisecond || j.Probes() != 1 {
+		t.Errorf("cache hit wrong: out=%d cost=%v probes=%d", len(out), cost, j.Probes())
+	}
+	// Results carry the join's done bit and full span.
+	for _, e := range out {
+		if e.T.Span != tuple.All(2) || !e.T.Done.Has(0) {
+			t.Errorf("bad result %v", e.T)
+		}
+	}
+}
+
+func TestIndexJoinAccepts(t *testing.T) {
+	q := fixtureQ(t)
+	j, _ := NewIndexJoin(IndexJoinConfig{Q: q, ProbeSpan: tuple.Single(0), Table: 1,
+		Data: q.AMs[1].Data, KeyCols: []int{0}})
+	if !j.Accepts(tuple.NewSingleton(2, 0, row(1, 10))) {
+		t.Error("must accept probe-span tuples")
+	}
+	if j.Accepts(tuple.NewSingleton(2, 1, row(10, 100))) {
+		t.Error("must reject other spans")
+	}
+	if j.Accepts(tuple.NewSeed(2, 0)) {
+		t.Error("must reject seeds")
+	}
+	if j.Parallel() != 1 || j.Name() == "" {
+		t.Error("module metadata wrong")
+	}
+}
+
+func TestSHJSymmetricBuildProbe(t *testing.T) {
+	q := fixtureQ(t)
+	j := NewSHJ(SHJConfig{
+		Q: q, Left: tuple.Single(0), Right: tuple.Single(1),
+		LeftRef: pred.ColRef{Table: 0, Col: 1}, RightRef: pred.ColRef{Table: 1, Col: 0},
+	})
+	r1 := tuple.NewSingleton(2, 0, row(1, 10))
+	if out, _ := j.Process(r1, 0); len(out) != 0 {
+		t.Fatal("first input has nothing to match")
+	}
+	s1 := tuple.NewSingleton(2, 1, row(10, 100))
+	out, _ := j.Process(s1, 0)
+	if len(out) != 1 {
+		t.Fatalf("matching input returned %d, want 1", len(out))
+	}
+	if out[0].T.Span != tuple.All(2) || !out[0].T.Done.Has(0) {
+		t.Error("result span/done wrong")
+	}
+	// Duplicate value on the other side matches the stored one.
+	s2 := tuple.NewSingleton(2, 1, row(10, 101))
+	if out, _ := j.Process(s2, 0); len(out) != 1 {
+		t.Error("second matching S row must also join")
+	}
+	if j.Size() != 3 {
+		t.Errorf("Size = %d, want 3 stored tuples", j.Size())
+	}
+}
+
+func TestSHJExactness(t *testing.T) {
+	// Feed all rows of both sides in arbitrary interleaving; the SHJ must
+	// produce exactly the join, once each.
+	q := fixtureQ(t)
+	j := NewSHJ(SHJConfig{
+		Q: q, Left: tuple.Single(0), Right: tuple.Single(1),
+		LeftRef: pred.ColRef{Table: 0, Col: 1}, RightRef: pred.ColRef{Table: 1, Col: 0},
+	})
+	var results int
+	feed := []*tuple.Tuple{
+		tuple.NewSingleton(2, 1, row(10, 100)),
+		tuple.NewSingleton(2, 0, row(1, 10)),
+		tuple.NewSingleton(2, 1, row(20, 200)),
+		tuple.NewSingleton(2, 1, row(10, 101)),
+		tuple.NewSingleton(2, 0, row(2, 20)),
+	}
+	for _, tp := range feed {
+		out, _ := j.Process(tp, 0)
+		results += len(out)
+	}
+	if results != 3 { // (1,10)x(10,100),(1,10)x(10,101),(2,20)x(20,200)
+		t.Errorf("SHJ produced %d results, want 3", results)
+	}
+}
+
+func TestSHJAcceptsBothSidesOnly(t *testing.T) {
+	q := fixtureQ(t)
+	j := NewSHJ(SHJConfig{Q: q, Left: tuple.Single(0), Right: tuple.Single(1),
+		LeftRef: pred.ColRef{Table: 0, Col: 1}, RightRef: pred.ColRef{Table: 1, Col: 0}})
+	if !j.Accepts(tuple.NewSingleton(2, 0, row(1, 10))) || !j.Accepts(tuple.NewSingleton(2, 1, row(10, 1))) {
+		t.Error("must accept both input spans")
+	}
+	if j.Accepts(tuple.NewSeed(2, 0)) {
+		t.Error("must reject seeds")
+	}
+}
+
+func TestBindKey(t *testing.T) {
+	q := fixtureQ(t)
+	r := tuple.NewSingleton(2, 0, row(7, 42))
+	vals, ok := bindKey(q, r, 1, []int{0})
+	if !ok || !vals[0].Equal(value.NewInt(42)) {
+		t.Errorf("bindKey = %v %v", vals, ok)
+	}
+	if _, ok := bindKey(q, r, 1, []int{1}); ok {
+		t.Error("unbound column must fail")
+	}
+}

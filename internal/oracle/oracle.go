@@ -1,0 +1,88 @@
+// Package oracle computes query results by brute force: the cartesian
+// product of all base tables filtered by every predicate. It is the ground
+// truth that the correctness properties of Section 3 (Theorems 1 and 2) are
+// tested against.
+package oracle
+
+import (
+	"repro/internal/query"
+	"repro/internal/tuple"
+)
+
+// Result is a multiset of result keys (tuple.ResultKey encodings) with
+// counts.
+type Result map[string]int
+
+// Compute returns the exact result multiset of the query, drawing each
+// table's rows from the first AM that serves it (competitive AMs are
+// presumed consistent, as the paper assumes).
+func Compute(q *query.Q) Result {
+	rowsFor := make([][]tuple.Row, q.NumTables())
+	for t := range rowsFor {
+		ams := q.AMsOn(t)
+		rowsFor[t] = dedup(q.AMs[ams[0]].Data.Rows)
+	}
+	return ComputeFromRows(q, rowsFor)
+}
+
+// ComputeFromRows is Compute with explicit per-table row sets.
+func ComputeFromRows(q *query.Q, rowsFor [][]tuple.Row) Result {
+	res := make(Result)
+	n := q.NumTables()
+	cur := make([]tuple.Row, n)
+	var rec func(t int)
+	rec = func(t int) {
+		if t == n {
+			out := tuple.NewSingleton(n, 0, cur[0])
+			for i := 1; i < n; i++ {
+				s := tuple.NewSingleton(n, i, cur[i])
+				out = out.Concat(s)
+			}
+			for _, p := range q.Preds {
+				if !p.Eval(out) {
+					return
+				}
+			}
+			res[out.ResultKey()]++
+			return
+		}
+		for _, r := range rowsFor[t] {
+			cur[t] = r
+			rec(t + 1)
+		}
+	}
+	rec(0)
+	return res
+}
+
+// dedup applies set semantics to a table's rows, matching the SteM's
+// duplicate elimination (Section 3.2).
+func dedup(rows []tuple.Row) []tuple.Row {
+	seen := make(map[string]bool, len(rows))
+	var out []tuple.Row
+	for _, r := range rows {
+		k := r.Key()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Diff compares an observed result multiset against the oracle, returning
+// missing (in want, not got or undercounted) and extra (duplicates or wrong
+// tuples) keys.
+func Diff(want, got Result) (missing, extra []string) {
+	for k, wc := range want {
+		if got[k] < wc {
+			missing = append(missing, k)
+		}
+	}
+	for k, gc := range got {
+		if gc > want[k] {
+			extra = append(extra, k)
+		}
+	}
+	return missing, extra
+}

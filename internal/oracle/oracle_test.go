@@ -1,0 +1,71 @@
+package oracle
+
+import (
+	"testing"
+
+	"repro/internal/clock"
+	"repro/internal/pred"
+	"repro/internal/query"
+	"repro/internal/schema"
+	"repro/internal/source"
+	"repro/internal/tuple"
+	"repro/internal/value"
+)
+
+func row(vs ...int64) tuple.Row {
+	r := make(tuple.Row, len(vs))
+	for i, v := range vs {
+		r[i] = value.NewInt(v)
+	}
+	return r
+}
+
+func TestComputeSmallJoin(t *testing.T) {
+	rT := schema.MustTable("R", schema.IntCol("k"), schema.IntCol("a"))
+	sT := schema.MustTable("S", schema.IntCol("x"))
+	rData := source.MustTable(rT, []tuple.Row{row(1, 10), row(2, 20), row(2, 20)}) // dup row
+	sData := source.MustTable(sT, []tuple.Row{row(10), row(10), row(30)})          // dup row
+	q := query.MustNew([]*schema.Table{rT, sT},
+		[]pred.P{pred.EquiJoin(0, 1, 1, 0)},
+		[]query.AMDecl{
+			{Table: 0, Kind: query.Scan, Data: rData, ScanSpec: source.ScanSpec{InterArrival: clock.Millisecond}},
+			{Table: 1, Kind: query.Scan, Data: sData, ScanSpec: source.ScanSpec{InterArrival: clock.Millisecond}},
+		})
+	res := Compute(q)
+	// Set semantics: dup rows collapse; only (1,10)x(10) matches.
+	if len(res) != 1 {
+		t.Fatalf("oracle = %v, want 1 result", res)
+	}
+	for _, n := range res {
+		if n != 1 {
+			t.Error("result multiplicity must be 1 under set semantics")
+		}
+	}
+}
+
+func TestComputeWithSelections(t *testing.T) {
+	rT := schema.MustTable("R", schema.IntCol("k"))
+	rData := source.MustTable(rT, []tuple.Row{row(1), row(2), row(3)})
+	q := query.MustNew([]*schema.Table{rT},
+		[]pred.P{pred.Selection(0, 0, pred.Ge, value.NewInt(2))},
+		[]query.AMDecl{{Table: 0, Kind: query.Scan, Data: rData, ScanSpec: source.ScanSpec{InterArrival: clock.Millisecond}}})
+	if len(Compute(q)) != 2 {
+		t.Error("selection oracle wrong")
+	}
+}
+
+func TestDiff(t *testing.T) {
+	want := Result{"a": 1, "b": 2}
+	got := Result{"a": 1, "b": 1, "c": 1}
+	missing, extra := Diff(want, got)
+	if len(missing) != 1 || missing[0] != "b" {
+		t.Errorf("missing = %v", missing)
+	}
+	if len(extra) != 1 || extra[0] != "c" {
+		t.Errorf("extra = %v", extra)
+	}
+	m2, e2 := Diff(want, Result{"a": 1, "b": 2})
+	if len(m2) != 0 || len(e2) != 0 {
+		t.Error("identical multisets must diff empty")
+	}
+}

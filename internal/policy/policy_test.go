@@ -1,0 +1,177 @@
+package policy
+
+import (
+	"testing"
+
+	"repro/internal/clock"
+	"repro/internal/tuple"
+	"repro/internal/value"
+)
+
+// fakeEnv is a static policy.Env for unit tests.
+type fakeEnv struct {
+	now      clock.Time
+	backlogs map[int]clock.Duration
+}
+
+func (e fakeEnv) Now() clock.Time { return e.now }
+func (e fakeEnv) Backlog(m int) clock.Duration {
+	return e.backlogs[m]
+}
+
+func probeTuple() *tuple.Tuple {
+	return tuple.NewSingleton(2, 0, tuple.Row{value.NewInt(1)})
+}
+
+func TestFixedPriorityOrder(t *testing.T) {
+	f := NewFixed()
+	cands := []Candidate{
+		{Module: 5, Kind: ProbeAM},
+		{Module: 2, Kind: Selection, PredID: 1},
+		{Module: 1, Kind: BuildSteM},
+		{Module: 3, Kind: ProbeSteM, Table: 0},
+		{Module: 9, Kind: DropTuple},
+	}
+	if got := f.Choose(probeTuple(), cands, fakeEnv{}); cands[got].Kind != BuildSteM {
+		t.Errorf("Fixed picked %v, want BuildSteM", cands[got].Kind)
+	}
+	// Without the build, selections come first, lowest PredID.
+	cands2 := []Candidate{
+		{Module: 3, Kind: ProbeSteM, Table: 0},
+		{Module: 2, Kind: Selection, PredID: 1},
+		{Module: 4, Kind: Selection, PredID: 0},
+	}
+	if got := f.Choose(probeTuple(), cands2, fakeEnv{}); cands2[got].PredID != 0 {
+		t.Errorf("Fixed picked pred %d, want 0", cands2[got].PredID)
+	}
+	// Probes by table order.
+	cands3 := []Candidate{
+		{Module: 6, Kind: ProbeSteM, Table: 2},
+		{Module: 4, Kind: ProbeSteM, Table: 1},
+	}
+	if got := f.Choose(probeTuple(), cands3, fakeEnv{}); cands3[got].Table != 1 {
+		t.Error("Fixed must probe lower tables first")
+	}
+	f.Observe(Feedback{}) // must be a no-op
+}
+
+func TestLotteryLearnsProductiveModule(t *testing.T) {
+	l := NewLottery(3)
+	sig := uint64(tuple.Single(0))
+	// Module 1 is productive; module 2 returns nothing.
+	for i := 0; i < 50; i++ {
+		l.Observe(Feedback{Module: 1, Kind: ProbeSteM, Sig: sig, Outputs: 3, Cost: clock.Millisecond})
+		l.Observe(Feedback{Module: 2, Kind: ProbeSteM, Sig: sig, Outputs: 0, Cost: clock.Millisecond})
+	}
+	cands := []Candidate{
+		{Module: 1, Kind: ProbeSteM, Table: 1},
+		{Module: 2, Kind: ProbeSteM, Table: 2},
+	}
+	wins := 0
+	for i := 0; i < 400; i++ {
+		if cands[l.Choose(probeTuple(), cands, fakeEnv{})].Module == 1 {
+			wins++
+		}
+	}
+	if wins < 300 {
+		t.Errorf("productive module won %d/400 draws; lottery is not learning", wins)
+	}
+}
+
+func TestLotterySingleCandidate(t *testing.T) {
+	l := NewLottery(1)
+	if l.Choose(probeTuple(), []Candidate{{Module: 7, Kind: ProbeSteM}}, fakeEnv{}) != 0 {
+		t.Error("single candidate must be chosen")
+	}
+}
+
+func TestBenefitCostPrefersSelectiveSelection(t *testing.T) {
+	p := NewBenefitCost(2)
+	p.Explore = 0
+	sig := uint64(tuple.Single(0))
+	for i := 0; i < 50; i++ {
+		// Module 1: 90% pass. Module 2: 5% pass.
+		e1, e2 := 1, 0
+		if i%10 == 9 {
+			e1 = 0
+		}
+		if i%20 == 19 {
+			e2 = 1
+		}
+		p.Observe(Feedback{Module: 1, Kind: Selection, Sig: sig, Emitted: e1, Cost: clock.Millisecond})
+		p.Observe(Feedback{Module: 2, Kind: Selection, Sig: sig, Emitted: e2, Cost: clock.Millisecond})
+	}
+	cands := []Candidate{
+		{Module: 1, Kind: Selection, PredID: 0},
+		{Module: 2, Kind: Selection, PredID: 1},
+	}
+	if got := p.Choose(probeTuple(), cands, fakeEnv{}); cands[got].Module != 2 {
+		t.Error("BenefitCost must apply the selective predicate first")
+	}
+}
+
+func TestBenefitCostBuildAlwaysWins(t *testing.T) {
+	p := NewBenefitCost(2)
+	p.Explore = 0
+	cands := []Candidate{
+		{Module: 1, Kind: ProbeSteM},
+		{Module: 2, Kind: BuildSteM},
+	}
+	if got := p.Choose(probeTuple(), cands, fakeEnv{}); cands[got].Kind != BuildSteM {
+		t.Error("builds must dominate")
+	}
+}
+
+func TestBenefitCostDropsWhenMatchInHand(t *testing.T) {
+	p := NewBenefitCost(2)
+	p.Explore = 0
+	tp := probeTuple()
+	tp.LastProbeMatches = 1
+	cands := []Candidate{
+		{Module: 1, Kind: ProbeAM},
+		{Module: 2, Kind: DropTuple},
+	}
+	if got := p.Choose(tp, cands, fakeEnv{}); cands[got].Kind != DropTuple {
+		t.Error("a bounced probe that already found its match must be dropped, not sent to the index")
+	}
+}
+
+func TestBenefitCostIndexEarlyScanLate(t *testing.T) {
+	p := NewBenefitCost(2)
+	p.Explore = 0
+	tp := probeTuple()
+	cands := []Candidate{
+		{Module: 1, Kind: ProbeAM},
+		{Module: 5, Kind: DropTuple}, // Module here is the SteM of the probe table
+	}
+	env := fakeEnv{now: clock.Time(5 * clock.Second), backlogs: map[int]clock.Duration{1: 100 * clock.Millisecond}}
+
+	// Early: SteM probes nearly always miss -> scan far from done -> index.
+	for i := 0; i < 40; i++ {
+		p.Observe(Feedback{Module: 5, Kind: ProbeSteM, Outputs: 0})
+	}
+	if got := p.Choose(tp, cands, env); cands[got].Kind != ProbeAM {
+		t.Error("early (low hit rate): must probe the index")
+	}
+	// Late: hit rate near 1 -> matches imminent via scan -> drop.
+	for i := 0; i < 200; i++ {
+		p.Observe(Feedback{Module: 5, Kind: ProbeSteM, Outputs: 1})
+	}
+	if got := p.Choose(tp, cands, env); cands[got].Kind != DropTuple {
+		t.Error("late (high hit rate): must rely on the scan")
+	}
+}
+
+func TestStatTableFallback(t *testing.T) {
+	st := newStatTable()
+	st.observe(Feedback{Module: 1, Sig: 7, Outputs: 2, Cost: clock.Millisecond})
+	if s := st.lookup(1, 7); s == nil || s.visits != 1 {
+		t.Error("sig-level stat missing")
+	}
+	if s := st.lookup(1, 99); s == nil {
+		t.Error("must fall back to module-level stat")
+	}
+	if s := st.lookup(2, 7); s != nil {
+		t.Error("unknown module must be nil")
+	}
+}

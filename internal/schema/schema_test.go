@@ -1,0 +1,58 @@
+package schema
+
+import (
+	"testing"
+
+	"repro/internal/value"
+)
+
+func TestNewTableValidation(t *testing.T) {
+	if _, err := NewTable("R", IntCol("a"), IntCol("a")); err == nil {
+		t.Error("duplicate column must be rejected")
+	}
+	if _, err := NewTable("R", Column{}); err == nil {
+		t.Error("unnamed column must be rejected")
+	}
+	tb, err := NewTable("R", IntCol("a"), StrCol("b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Arity() != 2 {
+		t.Errorf("Arity = %d", tb.Arity())
+	}
+	if tb.ColIndex("b") != 1 || tb.ColIndex("z") != -1 {
+		t.Error("ColIndex wrong")
+	}
+	if tb.Cols[0].Kind != value.Int || tb.Cols[1].Kind != value.Str {
+		t.Error("column kinds wrong")
+	}
+}
+
+func TestMustTablePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustTable must panic on invalid input")
+		}
+	}()
+	MustTable("R", IntCol("a"), IntCol("a"))
+}
+
+func TestCatalog(t *testing.T) {
+	c := NewCatalog()
+	r := MustTable("R", IntCol("a"))
+	if err := c.Add(r); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Add(MustTable("R", IntCol("b"))); err == nil {
+		t.Error("duplicate table name must be rejected")
+	}
+	if c.Table("R") != r {
+		t.Error("Table lookup failed")
+	}
+	if c.Table("S") != nil {
+		t.Error("missing table must be nil")
+	}
+	if len(c.Tables()) != 1 {
+		t.Error("Tables length wrong")
+	}
+}

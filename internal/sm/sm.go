@@ -1,0 +1,64 @@
+// Package sm implements Selection Modules (Section 2.1.2): "When a selection
+// module receives an input tuple t, it returns t to the eddy if t passes the
+// selection predicate, and removes it from the dataflow otherwise. To track
+// the progress made by t, if t passes the predicate, the SM marks this fact
+// in t's TupleState."
+package sm
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/clock"
+	"repro/internal/flow"
+	"repro/internal/pred"
+	"repro/internal/tuple"
+)
+
+// SM is a selection module over one selection predicate.
+type SM struct {
+	p    pred.P
+	cost clock.Duration
+	name string
+
+	in   atomic.Uint64
+	pass atomic.Uint64
+}
+
+// New builds a selection module. The predicate must be a selection.
+func New(p pred.P, cost clock.Duration) *SM {
+	if p.IsJoin() {
+		panic(fmt.Sprintf("sm: join predicate %s given to a selection module", p))
+	}
+	return &SM{p: p, cost: cost, name: fmt.Sprintf("SM(%s)", p)}
+}
+
+// Name implements flow.Module.
+func (s *SM) Name() string { return s.name }
+
+// Parallel implements flow.Module.
+func (s *SM) Parallel() int { return 1 }
+
+// Pred returns the module's predicate.
+func (s *SM) Pred() pred.P { return s.p }
+
+// Selectivity returns the observed pass fraction, or 1 if no tuples have
+// been seen; routing policies use it to order selections.
+func (s *SM) Selectivity() float64 {
+	in := s.in.Load()
+	if in == 0 {
+		return 1
+	}
+	return float64(s.pass.Load()) / float64(in)
+}
+
+// Process implements flow.Module.
+func (s *SM) Process(t *tuple.Tuple, now clock.Time) ([]flow.Emission, clock.Duration) {
+	s.in.Add(1)
+	if !s.p.Eval(t) {
+		return nil, s.cost // fails: removed from the dataflow
+	}
+	s.pass.Add(1)
+	t.Done = t.Done.With(s.p.ID)
+	return []flow.Emission{flow.Emit(t)}, s.cost
+}

@@ -1,0 +1,123 @@
+package source
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/clock"
+	"repro/internal/schema"
+	"repro/internal/tuple"
+	"repro/internal/value"
+)
+
+func rows(m [][]int64) []tuple.Row {
+	out := make([]tuple.Row, len(m))
+	for i, vs := range m {
+		r := make(tuple.Row, len(vs))
+		for j, v := range vs {
+			r[j] = value.NewInt(v)
+		}
+		out[i] = r
+	}
+	return out
+}
+
+func TestNewTableValidation(t *testing.T) {
+	sch := schema.MustTable("R", schema.IntCol("a"), schema.IntCol("b"))
+	if _, err := NewTable(sch, rows([][]int64{{1}})); err == nil {
+		t.Error("arity mismatch must be rejected")
+	}
+	if _, err := NewTable(sch, []tuple.Row{{value.NewStr("x"), value.NewInt(1)}}); err == nil {
+		t.Error("kind mismatch must be rejected")
+	}
+	if _, err := NewTable(sch, rows([][]int64{{1, 2}})); err != nil {
+		t.Errorf("valid table rejected: %v", err)
+	}
+}
+
+func TestScanSpecRowTimes(t *testing.T) {
+	spec := ScanSpec{
+		StartDelay:   10 * clock.Millisecond,
+		InterArrival: 5 * clock.Millisecond,
+		Stalls:       []Stall{{AfterRows: 2, For: 100 * clock.Millisecond}},
+	}
+	times, eot := spec.RowTimes(4)
+	want := []clock.Duration{
+		15 * clock.Millisecond,  // 10 + 5
+		20 * clock.Millisecond,  // +5
+		125 * clock.Millisecond, // +100 stall +5
+		130 * clock.Millisecond, // +5
+	}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Errorf("row %d at %v, want %v", i, times[i], want[i])
+		}
+	}
+	if eot != times[3] {
+		t.Errorf("EOT at %v, want %v", eot, times[3])
+	}
+}
+
+func TestScanTimesMonotone(t *testing.T) {
+	f := func(inter uint16, n uint8) bool {
+		spec := ScanSpec{InterArrival: clock.Duration(inter)}
+		times, eot := spec.RowTimes(int(n))
+		for i := 1; i < len(times); i++ {
+			if times[i] < times[i-1] {
+				return false
+			}
+		}
+		return len(times) == 0 || eot >= times[len(times)-1]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIndexLookup(t *testing.T) {
+	sch := schema.MustTable("S", schema.IntCol("x"), schema.IntCol("y"))
+	tb := MustTable(sch, rows([][]int64{{1, 10}, {2, 20}, {1, 11}, {3, 30}}))
+	ix, err := BuildIndex(tb, IndexSpec{KeyCols: []int{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := ix.Lookup(tuple.Row{value.NewInt(1)})
+	if len(got) != 2 {
+		t.Fatalf("Lookup(1) = %d rows, want 2", len(got))
+	}
+	if len(ix.Lookup(tuple.Row{value.NewInt(9)})) != 0 {
+		t.Error("Lookup(9) must be empty")
+	}
+}
+
+func TestIndexCompositeKey(t *testing.T) {
+	sch := schema.MustTable("S", schema.IntCol("x"), schema.IntCol("y"))
+	tb := MustTable(sch, rows([][]int64{{1, 10}, {1, 11}, {2, 10}}))
+	ix, err := BuildIndex(tb, IndexSpec{KeyCols: []int{0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ix.Lookup(tuple.Row{value.NewInt(1), value.NewInt(11)}); len(got) != 1 {
+		t.Errorf("composite Lookup = %d rows, want 1", len(got))
+	}
+}
+
+func TestBuildIndexValidation(t *testing.T) {
+	sch := schema.MustTable("S", schema.IntCol("x"))
+	tb := MustTable(sch, rows([][]int64{{1}}))
+	if _, err := BuildIndex(tb, IndexSpec{KeyCols: []int{5}}); err == nil {
+		t.Error("out-of-range key column must be rejected")
+	}
+}
+
+func TestIndexLookupPanicsOnArity(t *testing.T) {
+	sch := schema.MustTable("S", schema.IntCol("x"))
+	tb := MustTable(sch, rows([][]int64{{1}}))
+	ix, _ := BuildIndex(tb, IndexSpec{KeyCols: []int{0}})
+	defer func() {
+		if recover() == nil {
+			t.Error("wrong-arity lookup must panic")
+		}
+	}()
+	ix.Lookup(tuple.Row{})
+}

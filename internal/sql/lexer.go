@@ -1,0 +1,147 @@
+// Package sql is a small SQL front-end for the select-project-join dialect
+// the paper's system executes: SELECT list, FROM list with aliases (enabling
+// self-joins, which share one SteM per source — Section 2.2), and a WHERE
+// conjunction of comparisons. The binder turns a parsed statement into the
+// engine's query model against a catalog of sources.
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind classifies lexer tokens.
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokSymbol  // , ( ) .
+	tokOp      // = <> != < <= > >=
+	tokKeyword // SELECT FROM WHERE AND AS
+)
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "AND": true, "AS": true,
+	"ORDER": true, "BY": true, "LIMIT": true, "ASC": true, "DESC": true,
+}
+
+type token struct {
+	kind tokKind
+	text string // keywords upper-cased; idents as written
+	pos  int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// lex tokenizes the statement; errors carry byte positions.
+func lex(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == ',' || c == '(' || c == ')' || c == '.' || c == '*':
+			toks = append(toks, token{kind: tokSymbol, text: string(c), pos: i})
+			i++
+		case c == '=':
+			toks = append(toks, token{kind: tokOp, text: "=", pos: i})
+			i++
+		case c == '<':
+			switch {
+			case strings.HasPrefix(src[i:], "<="):
+				toks = append(toks, token{kind: tokOp, text: "<=", pos: i})
+				i += 2
+			case strings.HasPrefix(src[i:], "<>"):
+				toks = append(toks, token{kind: tokOp, text: "<>", pos: i})
+				i += 2
+			default:
+				toks = append(toks, token{kind: tokOp, text: "<", pos: i})
+				i++
+			}
+		case c == '>':
+			if strings.HasPrefix(src[i:], ">=") {
+				toks = append(toks, token{kind: tokOp, text: ">=", pos: i})
+				i += 2
+			} else {
+				toks = append(toks, token{kind: tokOp, text: ">", pos: i})
+				i++
+			}
+		case c == '!':
+			if strings.HasPrefix(src[i:], "!=") {
+				toks = append(toks, token{kind: tokOp, text: "<>", pos: i})
+				i += 2
+			} else {
+				return nil, fmt.Errorf("sql: position %d: unexpected %q", i, c)
+			}
+		case c == '\'':
+			j := i + 1
+			var b strings.Builder
+			for {
+				if j >= len(src) {
+					return nil, fmt.Errorf("sql: position %d: unterminated string", i)
+				}
+				if src[j] == '\'' {
+					if j+1 < len(src) && src[j+1] == '\'' { // escaped quote
+						b.WriteByte('\'')
+						j += 2
+						continue
+					}
+					break
+				}
+				b.WriteByte(src[j])
+				j++
+			}
+			toks = append(toks, token{kind: tokString, text: b.String(), pos: i})
+			i = j + 1
+		case c == '-' || (c >= '0' && c <= '9'):
+			j := i
+			if c == '-' {
+				j++
+				if j >= len(src) || src[j] < '0' || src[j] > '9' {
+					return nil, fmt.Errorf("sql: position %d: unexpected '-'", i)
+				}
+			}
+			for j < len(src) && src[j] >= '0' && src[j] <= '9' {
+				j++
+			}
+			toks = append(toks, token{kind: tokNumber, text: src[i:j], pos: i})
+			i = j
+		case isIdentStart(rune(c)):
+			j := i
+			for j < len(src) && isIdentPart(rune(src[j])) {
+				j++
+			}
+			word := src[i:j]
+			up := strings.ToUpper(word)
+			if keywords[up] {
+				toks = append(toks, token{kind: tokKeyword, text: up, pos: i})
+			} else {
+				toks = append(toks, token{kind: tokIdent, text: word, pos: i})
+			}
+			i = j
+		default:
+			return nil, fmt.Errorf("sql: position %d: unexpected %q", i, c)
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, pos: len(src)})
+	return toks, nil
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

@@ -1,0 +1,292 @@
+// parser.go builds the AST for the SPJ dialect:
+//
+//	SELECT ( '*' | colref (',' colref)* )
+//	FROM   table [AS alias] (',' table [AS alias])*
+//	WHERE  comparison (AND comparison)*
+//
+//	comparison := operand ( = | <> | != | < | <= | > | >= ) operand
+//	operand    := [alias '.'] column | integer | 'string'
+package sql
+
+import (
+	"fmt"
+)
+
+// Stmt is a parsed SELECT statement.
+type Stmt struct {
+	// Star is true for SELECT *.
+	Star bool
+	// Select lists the projected columns when Star is false.
+	Select []ColRef
+	// From lists the referenced sources with their binding aliases.
+	From []TableRef
+	// Where is the conjunction of comparisons (possibly empty).
+	Where []Cond
+	// OrderBy lists the result ordering keys (applied above the eddy: the
+	// adaptive dataflow itself is unordered).
+	OrderBy []OrderItem
+	// Limit bounds the result count; negative means no limit.
+	Limit int
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Col  ColRef
+	Desc bool
+}
+
+// TableRef is one FROM entry. Alias equals Source when no alias was given;
+// two entries may share a Source (a self-join) but aliases must be unique.
+type TableRef struct {
+	Source string
+	Alias  string
+}
+
+// ColRef names a column, optionally qualified by a FROM alias.
+type ColRef struct {
+	Table string // empty = unqualified
+	Col   string
+}
+
+// String renders the reference.
+func (c ColRef) String() string {
+	if c.Table == "" {
+		return c.Col
+	}
+	return c.Table + "." + c.Col
+}
+
+// OperandKind classifies comparison operands.
+type OperandKind uint8
+
+const (
+	// OpCol is a column reference.
+	OpCol OperandKind = iota
+	// OpInt is an integer literal.
+	OpInt
+	// OpStr is a string literal.
+	OpStr
+)
+
+// Operand is one side of a comparison.
+type Operand struct {
+	Kind OperandKind
+	Col  ColRef
+	Int  int64
+	Str  string
+}
+
+// Cond is one comparison in the WHERE conjunction. Op is the SQL spelling
+// ("=", "<>", "<", "<=", ">", ">=").
+type Cond struct {
+	Left  Operand
+	Op    string
+	Right Operand
+}
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+// Parse parses one SELECT statement.
+func Parse(src string) (*Stmt, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	st, err := p.stmt()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(tokEOF, "") {
+		return nil, fmt.Errorf("sql: unexpected %s after statement", p.cur())
+	}
+	return st, nil
+}
+
+func (p *parser) cur() token  { return p.toks[p.i] }
+func (p *parser) next() token { t := p.toks[p.i]; p.i++; return t }
+
+func (p *parser) at(k tokKind, text string) bool {
+	t := p.cur()
+	return t.kind == k && (text == "" || t.text == text)
+}
+
+func (p *parser) accept(k tokKind, text string) bool {
+	if p.at(k, text) {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(k tokKind, text, what string) (token, error) {
+	if p.at(k, text) {
+		return p.next(), nil
+	}
+	return token{}, fmt.Errorf("sql: expected %s, got %s", what, p.cur())
+}
+
+func (p *parser) stmt() (*Stmt, error) {
+	if _, err := p.expect(tokKeyword, "SELECT", "SELECT"); err != nil {
+		return nil, err
+	}
+	st := &Stmt{}
+	switch {
+	case p.accept(tokSymbol, "*"):
+		st.Star = true
+	default:
+		for {
+			c, err := p.colRef()
+			if err != nil {
+				return nil, err
+			}
+			st.Select = append(st.Select, c)
+			if !p.accept(tokSymbol, ",") {
+				break
+			}
+		}
+	}
+
+	if _, err := p.expect(tokKeyword, "FROM", "FROM"); err != nil {
+		return nil, err
+	}
+	for {
+		name, err := p.expect(tokIdent, "", "table name")
+		if err != nil {
+			return nil, err
+		}
+		ref := TableRef{Source: name.text, Alias: name.text}
+		if p.accept(tokKeyword, "AS") {
+			al, err := p.expect(tokIdent, "", "alias")
+			if err != nil {
+				return nil, err
+			}
+			ref.Alias = al.text
+		} else if p.cur().kind == tokIdent { // implicit alias: FROM R r
+			ref.Alias = p.next().text
+		}
+		st.From = append(st.From, ref)
+		if !p.accept(tokSymbol, ",") {
+			break
+		}
+	}
+
+	if p.accept(tokKeyword, "WHERE") {
+		for {
+			c, err := p.cond()
+			if err != nil {
+				return nil, err
+			}
+			st.Where = append(st.Where, c)
+			if !p.accept(tokKeyword, "AND") {
+				break
+			}
+		}
+	}
+
+	if p.accept(tokKeyword, "ORDER") {
+		if _, err := p.expect(tokKeyword, "BY", "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			c, err := p.colRef()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Col: c}
+			if p.accept(tokKeyword, "DESC") {
+				item.Desc = true
+			} else {
+				p.accept(tokKeyword, "ASC")
+			}
+			st.OrderBy = append(st.OrderBy, item)
+			if !p.accept(tokSymbol, ",") {
+				break
+			}
+		}
+	}
+
+	st.Limit = -1
+	if p.accept(tokKeyword, "LIMIT") {
+		n, err := p.expect(tokNumber, "", "limit count")
+		if err != nil {
+			return nil, err
+		}
+		v := 0
+		for _, ch := range n.text {
+			if ch == '-' {
+				return nil, fmt.Errorf("sql: negative LIMIT")
+			}
+			v = v*10 + int(ch-'0')
+		}
+		st.Limit = v
+	}
+	return st, nil
+}
+
+func (p *parser) colRef() (ColRef, error) {
+	id, err := p.expect(tokIdent, "", "column reference")
+	if err != nil {
+		return ColRef{}, err
+	}
+	if p.accept(tokSymbol, ".") {
+		col, err := p.expect(tokIdent, "", "column name")
+		if err != nil {
+			return ColRef{}, err
+		}
+		return ColRef{Table: id.text, Col: col.text}, nil
+	}
+	return ColRef{Col: id.text}, nil
+}
+
+func (p *parser) operand() (Operand, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokNumber:
+		p.next()
+		var v int64
+		neg := false
+		s := t.text
+		if s[0] == '-' {
+			neg = true
+			s = s[1:]
+		}
+		for _, ch := range s {
+			v = v*10 + int64(ch-'0')
+		}
+		if neg {
+			v = -v
+		}
+		return Operand{Kind: OpInt, Int: v}, nil
+	case tokString:
+		p.next()
+		return Operand{Kind: OpStr, Str: t.text}, nil
+	case tokIdent:
+		c, err := p.colRef()
+		if err != nil {
+			return Operand{}, err
+		}
+		return Operand{Kind: OpCol, Col: c}, nil
+	default:
+		return Operand{}, fmt.Errorf("sql: expected operand, got %s", t)
+	}
+}
+
+func (p *parser) cond() (Cond, error) {
+	l, err := p.operand()
+	if err != nil {
+		return Cond{}, err
+	}
+	op, err := p.expect(tokOp, "", "comparison operator")
+	if err != nil {
+		return Cond{}, err
+	}
+	r, err := p.operand()
+	if err != nil {
+		return Cond{}, err
+	}
+	return Cond{Left: l, Op: op.text, Right: r}, nil
+}

@@ -1,0 +1,327 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/clock"
+	"repro/internal/eddy"
+	"repro/internal/oracle"
+	"repro/internal/schema"
+	"repro/internal/source"
+	"repro/internal/tuple"
+	"repro/internal/value"
+)
+
+func row(vs ...int64) tuple.Row {
+	r := make(tuple.Row, len(vs))
+	for i, v := range vs {
+		r[i] = value.NewInt(v)
+	}
+	return r
+}
+
+func testCatalog(t *testing.T) MapCatalog {
+	t.Helper()
+	rT := schema.MustTable("r", schema.IntCol("key"), schema.IntCol("a"))
+	sT := schema.MustTable("s", schema.IntCol("x"), schema.IntCol("y"))
+	scan := source.ScanSpec{InterArrival: clock.Millisecond}
+	return MapCatalog{
+		"r": {
+			Data: source.MustTable(rT, []tuple.Row{row(1, 10), row(2, 20), row(3, 10)}),
+			Scan: &scan,
+		},
+		"s": {
+			Data:    source.MustTable(sT, []tuple.Row{row(10, 100), row(20, 200)}),
+			Scan:    &scan,
+			Indexes: []source.IndexSpec{{KeyCols: []int{0}, Latency: clock.Millisecond}},
+		},
+	}
+}
+
+// --- lexer ---
+
+func TestLexBasics(t *testing.T) {
+	toks, err := lex("SELECT r.a, x FROM r WHERE a <= -5 AND name = 'it''s'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []tokKind
+	for _, tk := range toks {
+		kinds = append(kinds, tk.kind)
+	}
+	if toks[0].text != "SELECT" || toks[0].kind != tokKeyword {
+		t.Error("keyword not recognized")
+	}
+	// Find the string literal with the escaped quote.
+	found := false
+	for _, tk := range toks {
+		if tk.kind == tokString && tk.text == "it's" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("escaped string quote not handled")
+	}
+	// Negative number.
+	neg := false
+	for _, tk := range toks {
+		if tk.kind == tokNumber && tk.text == "-5" {
+			neg = true
+		}
+	}
+	if !neg {
+		t.Error("negative number not lexed")
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{"SELECT @", "SELECT 'open", "a ! b", "a - b"} {
+		if _, err := lex(src); err == nil {
+			t.Errorf("%q: want lex error", src)
+		}
+	}
+}
+
+// --- parser ---
+
+func TestParseStar(t *testing.T) {
+	st, err := Parse("SELECT * FROM r, s WHERE r.a = s.x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Star || len(st.From) != 2 || len(st.Where) != 1 {
+		t.Errorf("parsed %+v", st)
+	}
+}
+
+func TestParseSelectListAndAliases(t *testing.T) {
+	st, err := Parse("select r1.key, r2.key from r as r1, r r2 where r1.a = r2.a and r1.key <> r2.key")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Star || len(st.Select) != 2 {
+		t.Errorf("select list = %v", st.Select)
+	}
+	if st.From[0].Alias != "r1" || st.From[1].Alias != "r2" || st.From[1].Source != "r" {
+		t.Errorf("from = %v", st.From)
+	}
+	if len(st.Where) != 2 || st.Where[1].Op != "<>" {
+		t.Errorf("where = %v", st.Where)
+	}
+}
+
+func TestParseOperandKinds(t *testing.T) {
+	st, err := Parse("SELECT * FROM r WHERE a >= 10 AND 3 < key AND name = 'bob'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Where[0].Right.Kind != OpInt || st.Where[1].Left.Kind != OpInt || st.Where[2].Right.Kind != OpStr {
+		t.Errorf("operand kinds wrong: %+v", st.Where)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"FROM r",
+		"SELECT FROM r",
+		"SELECT * FROM",
+		"SELECT * FROM r WHERE",
+		"SELECT * FROM r WHERE a =",
+		"SELECT * FROM r extra garbage =",
+		"SELECT a. FROM r",
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("%q: want parse error", src)
+		}
+	}
+}
+
+// --- binder ---
+
+func TestBindStarJoin(t *testing.T) {
+	st, err := Parse("SELECT * FROM r, s WHERE r.a = s.x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Bind(st, testCatalog(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Q.NumTables() != 2 || len(b.Q.Preds) != 1 || len(b.Output) != 4 {
+		t.Errorf("bound: tables=%d preds=%d out=%d", b.Q.NumTables(), len(b.Q.Preds), len(b.Output))
+	}
+	if b.Output[2].Name != "s.x" {
+		t.Errorf("output[2] = %v", b.Output[2])
+	}
+}
+
+func TestBindUnqualifiedColumns(t *testing.T) {
+	st, _ := Parse("SELECT key FROM r, s WHERE a = x")
+	b, err := Bind(st, testCatalog(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Output[0].Table != 0 || b.Output[0].Col != 0 {
+		t.Errorf("unqualified key resolved to %+v", b.Output[0])
+	}
+	p := b.Q.Preds[0]
+	if !p.IsJoin() {
+		t.Error("a = x must bind as a join")
+	}
+}
+
+func TestBindConstNormalization(t *testing.T) {
+	st, _ := Parse("SELECT * FROM r WHERE 2 <= key")
+	b, err := Bind(st, testCatalog(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := b.Q.Preds[0]
+	if p.IsJoin() || p.Op.String() != ">=" {
+		t.Errorf("normalized pred = %v", p)
+	}
+}
+
+func TestBindErrors(t *testing.T) {
+	cases := []string{
+		"SELECT * FROM nosuch",
+		"SELECT * FROM r, r",                   // duplicate alias
+		"SELECT * FROM r, s WHERE key = 1",     // ambiguous? key only in r... use x
+		"SELECT * FROM r WHERE nocol = 1",      // unknown column
+		"SELECT * FROM r, s WHERE r.a = r.key", // single-table comparison of two cols
+		"SELECT * FROM r WHERE 1 = 2",          // const vs const
+		"SELECT z.a FROM r",                    // unknown alias
+		"SELECT * FROM r, s",                   // cross product (engine validation)
+	}
+	for _, src := range cases {
+		st, err := Parse(src)
+		if err != nil {
+			t.Fatalf("%q: parse: %v", src, err)
+		}
+		if _, err := Bind(st, testCatalog(t)); err == nil && src != cases[2] {
+			t.Errorf("%q: want bind error", src)
+		}
+	}
+	// Ambiguity check with a genuinely shared column name.
+	cat := testCatalog(t)
+	rr := cat["r"]
+	cat["s2"] = rr // same schema under another name: column "a" ambiguous
+	st, _ := Parse("SELECT * FROM r, s2 WHERE a = 1")
+	if _, err := Bind(st, cat); err == nil || !strings.Contains(err.Error(), "ambiguous") {
+		t.Errorf("want ambiguity error, got %v", err)
+	}
+}
+
+// TestSelfJoinEndToEnd parses, binds and executes a self-join — the FROM
+// clause feature Section 2.2 calls out ("multiple instances of the source
+// in the FROM clause, e.g. a self-join").
+func TestSelfJoinEndToEnd(t *testing.T) {
+	st, err := Parse("SELECT r1.key, r2.key FROM r AS r1, r AS r2 WHERE r1.a = r2.a AND r1.key < r2.key")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Bind(st, testCatalog(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := eddy.NewRouter(b.Q, eddy.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs, err := eddy.NewSim(r).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(oracle.Result)
+	for _, o := range outs {
+		got[o.T.ResultKey()]++
+	}
+	want := oracle.Compute(b.Q)
+	missing, extra := oracle.Diff(want, got)
+	if len(missing) > 0 || len(extra) > 0 {
+		t.Fatalf("self-join wrong: missing=%v extra=%v", missing, extra)
+	}
+	// rows with a=10: keys {1,3} -> exactly one pair (1,3).
+	if len(outs) != 1 {
+		t.Errorf("self-join produced %d rows, want 1", len(outs))
+	}
+}
+
+// TestOrderByLimit parses, binds and arranges ORDER BY / LIMIT — applied
+// above the eddy, since the adaptive dataflow is inherently unordered.
+func TestOrderByLimit(t *testing.T) {
+	st, err := Parse("SELECT key FROM r ORDER BY a DESC, key ASC LIMIT 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.OrderBy) != 2 || !st.OrderBy[0].Desc || st.OrderBy[1].Desc || st.Limit != 2 {
+		t.Fatalf("parsed order/limit = %+v / %d", st.OrderBy, st.Limit)
+	}
+	b, err := Bind(st, testCatalog(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := eddy.NewRouter(b.Q, eddy.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs, err := eddy.NewSim(r).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ts []*tuple.Tuple
+	for _, o := range outs {
+		ts = append(ts, o.T)
+	}
+	got := b.Arrange(ts)
+	// r rows: (1,10),(2,20),(3,10). ORDER BY a DESC, key ASC LIMIT 2 →
+	// key 2 (a=20), then key 1 (a=10).
+	if len(got) != 2 {
+		t.Fatalf("arranged %d rows, want 2", len(got))
+	}
+	if got[0].Value(0, 0).I != 2 || got[1].Value(0, 0).I != 1 {
+		t.Errorf("order = %v, %v", got[0], got[1])
+	}
+}
+
+func TestParseOrderLimitErrors(t *testing.T) {
+	for _, src := range []string{
+		"SELECT * FROM r ORDER key",
+		"SELECT * FROM r LIMIT",
+		"SELECT * FROM r LIMIT -1",
+		"SELECT * FROM r ORDER BY",
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("%q: want parse error", src)
+		}
+	}
+	// Unknown order column fails at bind time.
+	st, _ := Parse("SELECT * FROM r ORDER BY nope")
+	if _, err := Bind(st, testCatalog(t)); err == nil {
+		t.Error("unknown ORDER BY column must fail to bind")
+	}
+}
+
+// TestIndexedSourceEndToEnd executes a bound query whose S side is served by
+// both the scan and the declared index.
+func TestIndexedSourceEndToEnd(t *testing.T) {
+	st, _ := Parse("SELECT y FROM r, s WHERE r.a = s.x AND r.key <= 2")
+	b, err := Bind(st, testCatalog(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := eddy.NewRouter(b.Q, eddy.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs, err := eddy.NewSim(r).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 2 {
+		t.Errorf("got %d rows, want 2", len(outs))
+	}
+}

@@ -1,0 +1,516 @@
+// dict.go defines the dictionary data structures a SteM encapsulates.
+//
+// Section 3.1 of the paper observes that the choice of dictionary is part of
+// the join algorithm: hash indexes yield hash-join behaviour, sorted
+// structures yield sort-merge behaviour, and a SteM "may use a linked list
+// when it holds a small number of tuples, and switch to a hash-based
+// implementation when the list size increases" — independently of other
+// modules. Each implementation here captures one of those choices.
+package stem
+
+import (
+	"sort"
+
+	"repro/internal/pred"
+	"repro/internal/tuple"
+	"repro/internal/value"
+)
+
+// Entry is a stored singleton row with its build timestamp.
+type Entry struct {
+	Row tuple.Row
+	TS  tuple.Timestamp
+}
+
+// RangeCond is an inequality constraint on a stored column: a candidate row
+// r qualifies when r[Col] Op Val holds. Range conditions arise from non-equi
+// join predicates (band joins); dictionaries may use them to narrow the
+// candidate set but are free to ignore them — the SteM re-verifies every
+// predicate on concatenation.
+type RangeCond struct {
+	Col int
+	Op  pred.Op
+	Val value.V
+}
+
+// Lookup describes a probe into a dictionary: candidate entries must satisfy
+// EquiCols[i] == EquiVals[i] for all i; Ranges may further narrow the set.
+// A Lookup with no constraints requests a full scan.
+type Lookup struct {
+	EquiCols []int
+	EquiVals []value.V
+	Ranges   []RangeCond
+}
+
+// Dict is the storage structure inside a SteM. Implementations need not be
+// thread-safe; the SteM serializes access.
+type Dict interface {
+	// Insert stores a row with its build timestamp.
+	Insert(row tuple.Row, ts tuple.Timestamp)
+	// Contains reports whether an identical row is already stored, supporting
+	// the set-semantics duplicate elimination of Section 3.2.
+	Contains(row tuple.Row) bool
+	// Candidates returns stored entries satisfying the lookup's equality
+	// constraints. Implementations may return extra entries (the SteM
+	// re-verifies every predicate); they must not miss any.
+	Candidates(lk Lookup) []Entry
+	// Evict removes and returns the entry with the smallest timestamp, for
+	// windowed streaming queries; ok is false if empty.
+	Evict() (Entry, bool)
+	// Len returns the number of stored entries.
+	Len() int
+	// MaxTS returns the largest stored timestamp, or 0 if empty; used to
+	// maintain LastMatchTimeStamp in the relaxed BuildFirst mode (§3.5).
+	MaxTS() tuple.Timestamp
+}
+
+// ---------------------------------------------------------------------------
+// HashDict: one main-memory hash index per join column (Section 2.1.4: "a
+// SteM on a table T has one main-memory index on each column of T involved
+// in a join predicate; these are all secondary indexes").
+
+// HashDict stores rows with hash indexes on the given columns.
+type HashDict struct {
+	cols    []int
+	indexes []map[string][]int // parallel to cols: value key -> entry positions
+	entries []Entry
+	rowSet  map[string]int // row key -> position, for dedup and eviction
+	evicted map[int]bool
+}
+
+// NewHashDict returns a hash dictionary with secondary indexes on cols (the
+// table's join columns).
+func NewHashDict(cols []int) *HashDict {
+	d := &HashDict{
+		cols:    append([]int(nil), cols...),
+		indexes: make([]map[string][]int, len(cols)),
+		rowSet:  make(map[string]int),
+		evicted: make(map[int]bool),
+	}
+	for i := range d.indexes {
+		d.indexes[i] = make(map[string][]int)
+	}
+	return d
+}
+
+// Insert implements Dict.
+func (d *HashDict) Insert(row tuple.Row, ts tuple.Timestamp) {
+	pos := len(d.entries)
+	d.entries = append(d.entries, Entry{Row: row, TS: ts})
+	d.rowSet[row.Key()] = pos
+	for i, c := range d.cols {
+		k := row[c].Key()
+		d.indexes[i][k] = append(d.indexes[i][k], pos)
+	}
+}
+
+// Contains implements Dict.
+func (d *HashDict) Contains(row tuple.Row) bool {
+	pos, ok := d.rowSet[row.Key()]
+	return ok && !d.evicted[pos]
+}
+
+// Candidates implements Dict. If any lookup column has a hash index, the
+// narrowest single-column index is consulted; otherwise all live entries are
+// returned for the caller to filter.
+func (d *HashDict) Candidates(lk Lookup) []Entry {
+	best := -1
+	bestLen := -1
+	for li, c := range lk.EquiCols {
+		for di, dc := range d.cols {
+			if dc != c {
+				continue
+			}
+			l := len(d.indexes[di][lk.EquiVals[li].Key()])
+			if bestLen < 0 || l < bestLen {
+				best, bestLen = li, l
+				_ = di
+			}
+		}
+	}
+	if best >= 0 {
+		for di, dc := range d.cols {
+			if dc == lk.EquiCols[best] {
+				poss := d.indexes[di][lk.EquiVals[best].Key()]
+				out := make([]Entry, 0, len(poss))
+				for _, p := range poss {
+					if !d.evicted[p] {
+						out = append(out, d.entries[p])
+					}
+				}
+				return out
+			}
+		}
+	}
+	return d.all()
+}
+
+func (d *HashDict) all() []Entry {
+	out := make([]Entry, 0, len(d.entries)-len(d.evicted))
+	for p, e := range d.entries {
+		if !d.evicted[p] {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Evict implements Dict: removes the oldest live entry.
+func (d *HashDict) Evict() (Entry, bool) {
+	for p, e := range d.entries {
+		if !d.evicted[p] {
+			d.evicted[p] = true
+			delete(d.rowSet, e.Row.Key())
+			return e, true
+		}
+	}
+	return Entry{}, false
+}
+
+// Len implements Dict.
+func (d *HashDict) Len() int { return len(d.entries) - len(d.evicted) }
+
+// MaxTS implements Dict.
+func (d *HashDict) MaxTS() tuple.Timestamp {
+	var max tuple.Timestamp
+	for p, e := range d.entries {
+		if !d.evicted[p] && e.TS > max {
+			max = e.TS
+		}
+	}
+	return max
+}
+
+// ---------------------------------------------------------------------------
+// ListDict: an unindexed append-only list. Cheap to build, linear to probe.
+
+// ListDict stores rows in arrival order with no index.
+type ListDict struct {
+	entries []Entry
+	rowSet  map[string]bool
+}
+
+// NewListDict returns an empty list dictionary.
+func NewListDict() *ListDict {
+	return &ListDict{rowSet: make(map[string]bool)}
+}
+
+// Insert implements Dict.
+func (d *ListDict) Insert(row tuple.Row, ts tuple.Timestamp) {
+	d.entries = append(d.entries, Entry{Row: row, TS: ts})
+	d.rowSet[row.Key()] = true
+}
+
+// Contains implements Dict.
+func (d *ListDict) Contains(row tuple.Row) bool { return d.rowSet[row.Key()] }
+
+// Candidates implements Dict: always a full scan.
+func (d *ListDict) Candidates(Lookup) []Entry {
+	return append([]Entry(nil), d.entries...)
+}
+
+// Evict implements Dict.
+func (d *ListDict) Evict() (Entry, bool) {
+	if len(d.entries) == 0 {
+		return Entry{}, false
+	}
+	e := d.entries[0]
+	d.entries = d.entries[1:]
+	delete(d.rowSet, e.Row.Key())
+	return e, true
+}
+
+// Len implements Dict.
+func (d *ListDict) Len() int { return len(d.entries) }
+
+// MaxTS implements Dict.
+func (d *ListDict) MaxTS() tuple.Timestamp {
+	var max tuple.Timestamp
+	for _, e := range d.entries {
+		if e.TS > max {
+			max = e.TS
+		}
+	}
+	return max
+}
+
+// ---------------------------------------------------------------------------
+// AdaptiveDict: the §3.1 relaxation made concrete — a linked list while
+// small, migrating to hash indexes once it crosses a threshold, with no other
+// module aware of the switch.
+
+// AdaptiveDict starts as a ListDict and becomes a HashDict after Threshold
+// inserts.
+type AdaptiveDict struct {
+	cols      []int
+	threshold int
+	inner     Dict
+	switched  bool
+}
+
+// NewAdaptiveDict returns an adaptive dictionary that switches to hash
+// indexes on cols after threshold entries.
+func NewAdaptiveDict(cols []int, threshold int) *AdaptiveDict {
+	return &AdaptiveDict{cols: cols, threshold: threshold, inner: NewListDict()}
+}
+
+// Switched reports whether the migration to hash indexes has happened.
+func (d *AdaptiveDict) Switched() bool { return d.switched }
+
+// Insert implements Dict, migrating when the threshold is crossed.
+func (d *AdaptiveDict) Insert(row tuple.Row, ts tuple.Timestamp) {
+	d.inner.Insert(row, ts)
+	if !d.switched && d.inner.Len() >= d.threshold {
+		h := NewHashDict(d.cols)
+		for _, e := range d.inner.Candidates(Lookup{}) {
+			h.Insert(e.Row, e.TS)
+		}
+		d.inner = h
+		d.switched = true
+	}
+}
+
+// Contains implements Dict.
+func (d *AdaptiveDict) Contains(row tuple.Row) bool { return d.inner.Contains(row) }
+
+// Candidates implements Dict.
+func (d *AdaptiveDict) Candidates(lk Lookup) []Entry { return d.inner.Candidates(lk) }
+
+// Evict implements Dict.
+func (d *AdaptiveDict) Evict() (Entry, bool) { return d.inner.Evict() }
+
+// Len implements Dict.
+func (d *AdaptiveDict) Len() int { return d.inner.Len() }
+
+// MaxTS implements Dict.
+func (d *AdaptiveDict) MaxTS() tuple.Timestamp { return d.inner.MaxTS() }
+
+// ---------------------------------------------------------------------------
+// SortedDict: sorted runs on one column, the tournament-tree analogue of
+// §3.1 that makes the SteM routing simulate a sort-merge join. Runs of
+// RunSize entries are kept sorted on the sort column; probes binary-search
+// every run.
+
+// SortedDict stores rows in sorted runs on a sort column.
+type SortedDict struct {
+	sortCol int
+	runSize int
+	runs    [][]Entry
+	cur     []Entry
+	rowSet  map[string]bool
+}
+
+// NewSortedDict returns a sorted-run dictionary on sortCol with the given
+// run size (entries per run before a new run is started).
+func NewSortedDict(sortCol, runSize int) *SortedDict {
+	if runSize <= 0 {
+		runSize = 64
+	}
+	return &SortedDict{sortCol: sortCol, runSize: runSize, rowSet: make(map[string]bool)}
+}
+
+// Runs returns the number of sealed sorted runs (for tests and benchmarks).
+func (d *SortedDict) Runs() int { return len(d.runs) }
+
+// Insert implements Dict.
+func (d *SortedDict) Insert(row tuple.Row, ts tuple.Timestamp) {
+	d.cur = append(d.cur, Entry{Row: row, TS: ts})
+	d.rowSet[row.Key()] = true
+	if len(d.cur) >= d.runSize {
+		d.sealRun()
+	}
+}
+
+func (d *SortedDict) sealRun() {
+	if len(d.cur) == 0 {
+		return
+	}
+	run := d.cur
+	d.cur = nil
+	sort.Slice(run, func(i, j int) bool {
+		return run[i].Row[d.sortCol].Compare(run[j].Row[d.sortCol]) < 0
+	})
+	d.runs = append(d.runs, run)
+}
+
+// Contains implements Dict.
+func (d *SortedDict) Contains(row tuple.Row) bool { return d.rowSet[row.Key()] }
+
+// Candidates implements Dict: if the lookup binds the sort column — by
+// equality or by a range condition — each sealed run is binary-searched; the
+// unsealed tail and unmatched columns fall back to scans.
+func (d *SortedDict) Candidates(lk Lookup) []Entry {
+	for i, c := range lk.EquiCols {
+		if c == d.sortCol {
+			return d.equalOnSort(lk.EquiVals[i])
+		}
+	}
+	for _, rc := range lk.Ranges {
+		if rc.Col == d.sortCol {
+			return d.rangeOnSort(rc)
+		}
+	}
+	var out []Entry
+	for _, run := range d.runs {
+		out = append(out, run...)
+	}
+	return append(out, d.cur...)
+}
+
+func (d *SortedDict) equalOnSort(v value.V) []Entry {
+	var out []Entry
+	for _, run := range d.runs {
+		lo := sort.Search(len(run), func(i int) bool {
+			return run[i].Row[d.sortCol].Compare(v) >= 0
+		})
+		for i := lo; i < len(run) && run[i].Row[d.sortCol].Equal(v); i++ {
+			out = append(out, run[i])
+		}
+	}
+	for _, e := range d.cur {
+		if e.Row[d.sortCol].Equal(v) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// rangeOnSort binary-searches each run for the half-open interval the range
+// condition describes. Ne conditions cannot narrow a sorted run usefully, so
+// they fall back to a full scan of each run.
+func (d *SortedDict) rangeOnSort(rc RangeCond) []Entry {
+	var out []Entry
+	sat := func(e Entry) bool {
+		if e.Row[rc.Col].IsEOT() {
+			return false
+		}
+		return evalRange(e.Row[rc.Col], rc)
+	}
+	for _, run := range d.runs {
+		switch rc.Op {
+		case pred.Lt, pred.Le:
+			hi := sort.Search(len(run), func(i int) bool {
+				return !evalRange(run[i].Row[d.sortCol], rc)
+			})
+			out = append(out, run[:hi]...)
+		case pred.Gt, pred.Ge:
+			lo := sort.Search(len(run), func(i int) bool {
+				return evalRange(run[i].Row[d.sortCol], rc)
+			})
+			out = append(out, run[lo:]...)
+		default:
+			for _, e := range run {
+				if sat(e) {
+					out = append(out, e)
+				}
+			}
+		}
+	}
+	for _, e := range d.cur {
+		if sat(e) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// evalRange reports whether v Op rc.Val holds.
+func evalRange(v value.V, rc RangeCond) bool {
+	cmp := v.Compare(rc.Val)
+	switch rc.Op {
+	case pred.Lt:
+		return cmp < 0
+	case pred.Le:
+		return cmp <= 0
+	case pred.Gt:
+		return cmp > 0
+	case pred.Ge:
+		return cmp >= 0
+	case pred.Ne:
+		return cmp != 0
+	default:
+		return true
+	}
+}
+
+// Evict implements Dict.
+func (d *SortedDict) Evict() (Entry, bool) {
+	bestRun, bestIdx := -1, -1
+	var bestTS tuple.Timestamp
+	for ri, run := range d.runs {
+		for i, e := range run {
+			if bestRun < 0 || e.TS < bestTS {
+				bestRun, bestIdx, bestTS = ri, i, e.TS
+			}
+		}
+	}
+	for i, e := range d.cur {
+		if bestRun < 0 && bestIdx < 0 || e.TS < bestTS {
+			bestRun, bestIdx, bestTS = -2, i, e.TS
+		}
+	}
+	switch {
+	case bestRun >= 0:
+		run := d.runs[bestRun]
+		e := run[bestIdx]
+		d.runs[bestRun] = append(run[:bestIdx:bestIdx], run[bestIdx+1:]...)
+		delete(d.rowSet, e.Row.Key())
+		return e, true
+	case bestRun == -2:
+		e := d.cur[bestIdx]
+		d.cur = append(d.cur[:bestIdx:bestIdx], d.cur[bestIdx+1:]...)
+		delete(d.rowSet, e.Row.Key())
+		return e, true
+	default:
+		return Entry{}, false
+	}
+}
+
+// Len implements Dict.
+func (d *SortedDict) Len() int {
+	n := len(d.cur)
+	for _, run := range d.runs {
+		n += len(run)
+	}
+	return n
+}
+
+// MaxTS implements Dict.
+func (d *SortedDict) MaxTS() tuple.Timestamp {
+	var max tuple.Timestamp
+	for _, run := range d.runs {
+		for _, e := range run {
+			if e.TS > max {
+				max = e.TS
+			}
+		}
+	}
+	for _, e := range d.cur {
+		if e.TS > max {
+			max = e.TS
+		}
+	}
+	return max
+}
+
+// lookupFor derives the lookup for a probe tuple against table column
+// constraints: equality columns from equi-join predicates, range conditions
+// from the comparison joins (band joins). BindSide orients the op as
+// "fromValue op t.column"; the stored-side condition is the flip.
+func lookupFor(t *tuple.Tuple, table int, preds []pred.P) Lookup {
+	var lk Lookup
+	for _, p := range preds {
+		tCol, from, op, ok := p.BindSide(t.Span, table)
+		if !ok {
+			continue
+		}
+		v := t.Value(from.Table, from.Col)
+		if op == pred.Eq {
+			lk.EquiCols = append(lk.EquiCols, tCol)
+			lk.EquiVals = append(lk.EquiVals, v)
+			continue
+		}
+		lk.Ranges = append(lk.Ranges, RangeCond{Col: tCol, Op: op.Flip(), Val: v})
+	}
+	return lk
+}

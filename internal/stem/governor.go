@@ -1,0 +1,171 @@
+// governor.go implements the Section 6 extension the paper sketches as
+// future work: "Since SteMs encapsulate the data structures, and communicate
+// directly with the eddy, they enable the eddy to observe and control memory
+// resource utilization across all modules in the query. The eddy can make
+// memory allocation decisions in a globally optimal manner, possibly based
+// on overall memory availability as well as relative frequency of probes
+// into each SteM. This can be extended to let the eddy control spilling of
+// tuples to the disk as well."
+//
+// The Governor owns a global budget of resident rows. Each SteM registers
+// its builds and probes; rows beyond a SteM's allocation are "spilled" —
+// still correct to probe, but each probe pays a penalty proportional to the
+// fraction of the SteM's rows on disk. The governor periodically rebalances
+// allocations in proportion to observed probe frequency (hot SteMs stay in
+// memory), which is exactly the globally-informed decision an encapsulated
+// join could never make.
+package stem
+
+import (
+	"sync"
+
+	"repro/internal/clock"
+)
+
+// AllocPolicy selects how the governor divides the budget.
+type AllocPolicy uint8
+
+const (
+	// AllocEqual splits the budget evenly across SteMs (the baseline an
+	// encapsulated design is stuck with).
+	AllocEqual AllocPolicy = iota
+	// AllocByProbes splits the budget in proportion to each SteM's
+	// exponentially weighted probe frequency.
+	AllocByProbes
+)
+
+// Governor arbitrates a global resident-row budget across SteMs.
+type Governor struct {
+	mu sync.Mutex
+	// Budget is the total number of rows resident in memory across all
+	// registered SteMs; 0 disables governance (everything resident).
+	budget int
+	policy AllocPolicy
+	// SpillPenalty is the extra probe cost charged when every probed row is
+	// spilled; partial spill charges proportionally.
+	spillPenalty clock.Duration
+
+	members []*govMember
+	// ops counts operations since the last rebalance.
+	ops int
+	// RebalanceEvery controls rebalance frequency in operations.
+	rebalanceEvery int
+}
+
+type govMember struct {
+	rows      int
+	alloc     int
+	probeEWMA float64
+}
+
+// NewGovernor creates a governor with the given global budget (rows),
+// allocation policy and full-spill probe penalty.
+func NewGovernor(budget int, policy AllocPolicy, spillPenalty clock.Duration) *Governor {
+	return &Governor{
+		budget:         budget,
+		policy:         policy,
+		spillPenalty:   spillPenalty,
+		rebalanceEvery: 64,
+	}
+}
+
+// register adds a SteM and returns its membership handle index.
+func (g *Governor) register() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.members = append(g.members, &govMember{})
+	g.rebalanceLocked()
+	return len(g.members) - 1
+}
+
+// noteBuild records a stored row for member id.
+func (g *Governor) noteBuild(id int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.members[id].rows++
+	g.tick()
+}
+
+// noteEvict records a removed row.
+func (g *Governor) noteEvict(id int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.members[id].rows > 0 {
+		g.members[id].rows--
+	}
+}
+
+// probePenalty records a probe for member id and returns the spill penalty
+// the probe pays under the current allocation.
+func (g *Governor) probePenalty(id int) clock.Duration {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	m := g.members[id]
+	m.probeEWMA = 0.1 + 0.9*m.probeEWMA + 1 // +1 per probe, mild decay floor
+	g.tick()
+	if g.budget <= 0 || m.rows == 0 {
+		return 0
+	}
+	spilled := m.rows - m.alloc
+	if spilled <= 0 {
+		return 0
+	}
+	frac := float64(spilled) / float64(m.rows)
+	return clock.Duration(float64(g.spillPenalty) * frac)
+}
+
+// SpilledRows reports the current spilled-row count of member id, for tests
+// and reports.
+func (g *Governor) SpilledRows(id int) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	m := g.members[id]
+	if g.budget <= 0 {
+		return 0
+	}
+	if s := m.rows - m.alloc; s > 0 {
+		return s
+	}
+	return 0
+}
+
+func (g *Governor) tick() {
+	g.ops++
+	if g.ops >= g.rebalanceEvery {
+		g.ops = 0
+		g.rebalanceLocked()
+		// Probe frequencies decay between rebalances so the allocation
+		// follows shifting workloads.
+		for _, m := range g.members {
+			m.probeEWMA *= 0.5
+		}
+	}
+}
+
+// rebalanceLocked recomputes allocations under the policy.
+func (g *Governor) rebalanceLocked() {
+	n := len(g.members)
+	if n == 0 || g.budget <= 0 {
+		return
+	}
+	switch g.policy {
+	case AllocByProbes:
+		total := 0.0
+		for _, m := range g.members {
+			total += m.probeEWMA
+		}
+		if total <= 0 {
+			for _, m := range g.members {
+				m.alloc = g.budget / n
+			}
+			return
+		}
+		for _, m := range g.members {
+			m.alloc = int(float64(g.budget) * m.probeEWMA / total)
+		}
+	default:
+		for _, m := range g.members {
+			m.alloc = g.budget / n
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package stem
+
+import (
+	"testing"
+
+	"repro/internal/clock"
+	"repro/internal/tuple"
+)
+
+func TestGovernorEqualAllocationSpills(t *testing.T) {
+	g := NewGovernor(10, AllocEqual, clock.Millisecond)
+	a := g.register()
+	b := g.register()
+	// a stores 8 rows, b stores 2: equal allocation (5 each) spills 3 of a.
+	for i := 0; i < 8; i++ {
+		g.noteBuild(a)
+	}
+	for i := 0; i < 2; i++ {
+		g.noteBuild(b)
+	}
+	if got := g.SpilledRows(a); got != 3 {
+		t.Errorf("a spilled %d, want 3", got)
+	}
+	if got := g.SpilledRows(b); got != 0 {
+		t.Errorf("b spilled %d, want 0", got)
+	}
+	// Probe penalty proportional to the spilled fraction (3/8 of 1ms).
+	p := g.probePenalty(a)
+	want := clock.Duration(float64(clock.Millisecond) * 3 / 8)
+	if p != want {
+		t.Errorf("penalty = %v, want %v", p, want)
+	}
+	if g.probePenalty(b) != 0 {
+		t.Error("unspilled member must pay no penalty")
+	}
+}
+
+func TestGovernorProbeProportionalAllocation(t *testing.T) {
+	g := NewGovernor(10, AllocByProbes, clock.Millisecond)
+	g.rebalanceEvery = 4
+	hot := g.register()
+	cold := g.register()
+	for i := 0; i < 8; i++ {
+		g.noteBuild(hot)
+		g.noteBuild(cold)
+	}
+	// Hot member takes all the probes; after rebalances its allocation
+	// should dwarf the cold one's, shrinking its spill.
+	for i := 0; i < 64; i++ {
+		g.probePenalty(hot)
+	}
+	if hs, cs := g.SpilledRows(hot), g.SpilledRows(cold); hs >= cs {
+		t.Errorf("hot spilled %d >= cold %d; probe-frequency allocation not working", hs, cs)
+	}
+}
+
+func TestGovernorDisabled(t *testing.T) {
+	g := NewGovernor(0, AllocByProbes, clock.Millisecond)
+	id := g.register()
+	g.noteBuild(id)
+	if g.probePenalty(id) != 0 || g.SpilledRows(id) != 0 {
+		t.Error("zero budget must disable governance")
+	}
+}
+
+func TestGovernedSteMChargesPenalty(t *testing.T) {
+	q := twoTableQ(t, true, false)
+	g := NewGovernor(1, AllocEqual, 10*clock.Millisecond)
+	counter := &Counter{}
+	sR := New(Config{Table: 0, Q: q, TS: counter, Gov: g,
+		ProbeCost: clock.Microsecond})
+	// Store several rows: with budget 1 most are spilled.
+	for i := int64(0); i < 4; i++ {
+		sR.Process(singleton(2, 0, row(i, 10)), 0)
+	}
+	s := singleton(2, 1, row(10, 100))
+	s.CompTS[1] = counter.Next()
+	s.Built = tuple.Single(1)
+	_, cost := sR.Process(s, 0)
+	if cost < 5*clock.Millisecond {
+		t.Errorf("governed probe cost %v must include a spill penalty", cost)
+	}
+	// Eviction shrinks usage.
+	if g.SpilledRows(0) == 0 {
+		t.Error("expected spilled rows under budget 1")
+	}
+}

@@ -1,0 +1,466 @@
+// Package stem implements State Modules (SteMs), the paper's core
+// contribution (Section 2.1.4). A SteM is "half a join": a dictionary over
+// the singleton tuples of one base table that handles build (insert) and
+// probe (lookup) requests, returning concatenated matches to the eddy. The
+// SteM internally enforces the SteM BounceBack and TimeStamp constraints of
+// Table 2, so "the routing policy implementor need not be aware of them at
+// all".
+package stem
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/clock"
+	"repro/internal/flow"
+	"repro/internal/query"
+	"repro/internal/tuple"
+)
+
+// Counter issues the global, monotonically increasing build timestamps of
+// the TimeStamp constraint. It is shared by every SteM of a query and safe
+// for concurrent use.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Next returns the next timestamp (starting at 1, so 0 is "never matched"
+// for LastMatchTimeStamp purposes).
+func (c *Counter) Next() tuple.Timestamp { return c.v.Add(1) }
+
+// ProbeBounceMode selects when a SteM bounces back probe tuples beyond the
+// mandatory cases of Table 2.
+type ProbeBounceMode uint8
+
+const (
+	// BounceAuto bounces a probe only when required for correctness: the
+	// SteM cannot prove it holds all matches and either the table has no
+	// scan AM or some base component of the probe is not yet cached.
+	BounceAuto ProbeBounceMode = iota
+	// BounceIfIndexAM additionally bounces any incomplete probe when the
+	// table has an index AM, even if a scan AM exists. This is the Section
+	// 4.1 policy hook that lets the eddy choose, per bounced tuple, between
+	// probing the index AM and relying on the scan — the mechanism behind
+	// the index/hash hybridization of Section 4.3.
+	BounceIfIndexAM
+)
+
+// Config parameterizes a SteM.
+type Config struct {
+	// Table is the query position of the base table this SteM materializes.
+	Table int
+	// Q is the enclosing query.
+	Q *query.Q
+	// TS is the shared build-timestamp counter.
+	TS *Counter
+	// Dict is the storage structure; nil defaults to a HashDict over the
+	// table's join columns.
+	Dict Dict
+	// BuildCost and ProbeCost are the service times charged per operation.
+	BuildCost clock.Duration
+	ProbeCost clock.Duration
+	// PerMatchCost is charged per concatenated match returned.
+	PerMatchCost clock.Duration
+	// ProbeBounce selects the probe bounce-back mode.
+	ProbeBounce ProbeBounceMode
+	// BuildBounceBatch, when >0, holds back build bounce-backs and releases
+	// them in batches of this size, clustered by the hash partition of the
+	// first join column — the "asynchronous" bounce-back that makes the SteM
+	// routing simulate a Grace hash join (Section 3.1). 0 bounces builds
+	// immediately (symmetric-hash behaviour).
+	BuildBounceBatch int
+	// Window, when >0, bounds the number of stored rows; the oldest rows are
+	// evicted on overflow, supporting sliding-window continuous queries
+	// (Section 2.3 mentions [17, 5] use SteMs with eviction). Eviction
+	// invalidates completeness, so windowed SteMs never claim to hold all
+	// matches.
+	Window int
+	// Gov, when non-nil, places this SteM under a shared memory Governor
+	// (the Section 6 extension): rows beyond the SteM's allocation are
+	// treated as spilled, and probes pay a proportional penalty.
+	Gov *Governor
+}
+
+// Stats are cumulative SteM counters, exposed for experiments and tests.
+type Stats struct {
+	Builds       uint64 // rows stored
+	DupBuilds    uint64 // builds consumed as set-semantics duplicates
+	Probes       uint64 // probe tuples processed
+	Matches      uint64 // concatenated results returned
+	ProbeBounces uint64 // probes bounced back
+	Evictions    uint64 // rows evicted by the window bound
+	EOTs         uint64 // EOT tuples built in
+}
+
+// SteM is a State Module on one base table.
+type SteM struct {
+	cfg  Config
+	name string
+
+	mu      sync.Mutex
+	dict    Dict
+	fullEOT bool
+	// eotKeys maps a bound-column signature ("1,2") to the set of bound
+	// value keys for which all matches have been transmitted.
+	eotKeys map[string]map[string]bool
+	// pending holds build tuples awaiting a batched bounce-back.
+	pending []*tuple.Tuple
+	// joinCols are the table's columns involved in join predicates.
+	joinCols []int
+	stats    Stats
+	// govID is this SteM's membership handle in cfg.Gov (-1 when ungoverned).
+	govID int
+}
+
+// New creates a SteM from a config.
+func New(cfg Config) *SteM {
+	s := &SteM{
+		cfg:     cfg,
+		name:    fmt.Sprintf("SteM(%s)", cfg.Q.Tables[cfg.Table].Name),
+		eotKeys: make(map[string]map[string]bool),
+	}
+	s.joinCols = JoinCols(cfg.Q, cfg.Table)
+	if cfg.Dict != nil {
+		s.dict = cfg.Dict
+	} else {
+		s.dict = NewHashDict(s.joinCols)
+	}
+	s.govID = -1
+	if cfg.Gov != nil {
+		s.govID = cfg.Gov.register()
+	}
+	return s
+}
+
+// JoinCols returns the columns of table t involved in join predicates of q —
+// the columns a default SteM builds hash indexes on.
+func JoinCols(q *query.Q, t int) []int {
+	seen := make(map[int]bool)
+	var cols []int
+	for _, p := range q.Preds {
+		if !p.IsJoin() {
+			continue
+		}
+		if p.Left.Table == t && !seen[p.Left.Col] {
+			seen[p.Left.Col] = true
+			cols = append(cols, p.Left.Col)
+		}
+		if p.Right.Table == t && !seen[p.Right.Col] {
+			seen[p.Right.Col] = true
+			cols = append(cols, p.Right.Col)
+		}
+	}
+	sort.Ints(cols)
+	return cols
+}
+
+// Name implements flow.Module.
+func (s *SteM) Name() string { return s.name }
+
+// Parallel implements flow.Module: a SteM is a single-server module.
+func (s *SteM) Parallel() int { return 1 }
+
+// Table returns the query position of the table this SteM materializes.
+func (s *SteM) Table() int { return s.cfg.Table }
+
+// Stats returns a snapshot of the SteM's counters.
+func (s *SteM) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Size returns the number of stored rows.
+func (s *SteM) Size() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dict.Len()
+}
+
+// Process implements flow.Module, dispatching on the tuple's role:
+// EOT tuples and unbuilt singletons of this SteM's table are builds;
+// everything else is a probe.
+func (s *SteM) Process(t *tuple.Tuple, now clock.Time) ([]flow.Emission, clock.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch {
+	case t.EOT != nil && t.EOT.Table == s.cfg.Table:
+		return s.buildEOT(t), s.cfg.BuildCost
+	case t.IsSingleton() && t.SingleTable() == s.cfg.Table && !t.Built.Has(s.cfg.Table):
+		return s.build(t), s.cfg.BuildCost
+	default:
+		out := s.probe(t)
+		cost := s.cfg.ProbeCost + clock.Duration(len(out))*s.cfg.PerMatchCost
+		if s.govID >= 0 {
+			cost += s.cfg.Gov.probePenalty(s.govID)
+		}
+		return out, cost
+	}
+}
+
+// build stores a singleton and bounces it back (SteM BounceBack: "a SteM
+// must bounce back a build tuple unless it is a duplicate of another tuple
+// already in the SteM").
+func (s *SteM) build(t *tuple.Tuple) []flow.Emission {
+	row := t.Comp[s.cfg.Table]
+	if s.dict.Contains(row) {
+		s.stats.DupBuilds++
+		return nil // duplicate from a competitive AM: consumed (Section 3.2)
+	}
+	ts := s.cfg.TS.Next()
+	s.dict.Insert(row, ts)
+	t.CompTS[s.cfg.Table] = ts
+	t.Built = t.Built.With(s.cfg.Table)
+	s.stats.Builds++
+	if s.govID >= 0 {
+		s.cfg.Gov.noteBuild(s.govID)
+	}
+	if s.cfg.Window > 0 {
+		for s.dict.Len() > s.cfg.Window {
+			if _, ok := s.dict.Evict(); !ok {
+				break
+			}
+			s.stats.Evictions++
+			if s.govID >= 0 {
+				s.cfg.Gov.noteEvict(s.govID)
+			}
+		}
+	}
+	if s.cfg.BuildBounceBatch > 0 {
+		s.pending = append(s.pending, t)
+		if len(s.pending) >= s.cfg.BuildBounceBatch {
+			return s.flushPending()
+		}
+		return []flow.Emission{} // held; still in dataflow (engine tracks via pendingHold)
+	}
+	return []flow.Emission{flow.Emit(t)}
+}
+
+// flushPending releases held build bounce-backs clustered by the hash
+// partition of the first join column, modelling the I/O locality of a Grace
+// hash join's partition-at-a-time processing.
+func (s *SteM) flushPending() []flow.Emission {
+	p := s.pending
+	s.pending = nil
+	if len(s.joinCols) > 0 {
+		c := s.joinCols[0]
+		sort.SliceStable(p, func(i, j int) bool {
+			hi := p[i].Comp[s.cfg.Table][c].Hash() % 16
+			hj := p[j].Comp[s.cfg.Table][c].Hash() % 16
+			return hi < hj
+		})
+	}
+	out := make([]flow.Emission, len(p))
+	for i, t := range p {
+		out[i] = flow.Emit(t)
+	}
+	return out
+}
+
+// HeldBuilds returns the number of build tuples awaiting a batched bounce.
+func (s *SteM) HeldBuilds() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.pending)
+}
+
+// buildEOT records an End-Of-Transmission tuple. "An EOT tuple from an AM on
+// S is also routed as a build tuple to SteM(S)"; it is stored (as
+// completeness metadata) and consumed. A full (scan) EOT also flushes any
+// held batched builds.
+func (s *SteM) buildEOT(t *tuple.Tuple) []flow.Emission {
+	s.stats.EOTs++
+	info := t.EOT
+	if len(info.BoundCols) == 0 {
+		s.fullEOT = true
+		if s.cfg.BuildBounceBatch > 0 {
+			return s.flushPending()
+		}
+		return nil
+	}
+	sig := colSig(info.BoundCols)
+	set := s.eotKeys[sig]
+	if set == nil {
+		set = make(map[string]bool)
+		s.eotKeys[sig] = set
+	}
+	set[valuesKey(t.Comp[s.cfg.Table], info.BoundCols)] = true
+	return nil
+}
+
+// probe finds matches for t among stored rows, concatenates them (verifying
+// every newly applicable predicate and enforcing the TimeStamp rule), and
+// decides whether to bounce t back per the SteM BounceBack constraint.
+func (s *SteM) probe(t *tuple.Tuple) []flow.Emission {
+	s.stats.Probes++
+	preds := s.cfg.Q.JoinPredsConnecting(t.Span, s.cfg.Table)
+	lk := lookupFor(t, s.cfg.Table, preds)
+	probeTS := t.TS()
+	lastMatch := t.LastMatchTS
+
+	var out []flow.Emission
+	for _, e := range s.dict.Candidates(lk) {
+		// TimeStamp constraint: result returned iff ts(probe) > ts(match);
+		// LastMatchTimeStamp guards repeated probes (§3.5).
+		if e.TS >= probeTS || e.TS <= lastMatch {
+			continue
+		}
+		m := s.singleton(e)
+		cat := t.Concat(m)
+		if !s.verify(cat) {
+			continue
+		}
+		s.stats.Matches++
+		out = append(out, flow.Emit(cat))
+	}
+
+	t.LastProbeMatches = len(out)
+	if s.shouldBounce(t) {
+		t.PriorProber = true
+		t.ProbeTable = s.cfg.Table
+		t.LastMatchTS = s.dict.MaxTS()
+		s.stats.ProbeBounces++
+		out = append(out, flow.Emit(t))
+	}
+	return out
+}
+
+// singleton wraps a stored entry as a built singleton tuple.
+func (s *SteM) singleton(e Entry) *tuple.Tuple {
+	m := tuple.NewSingleton(len(s.cfg.Q.Tables), s.cfg.Table, e.Row)
+	m.CompTS[s.cfg.Table] = e.TS
+	m.Built = tuple.Single(s.cfg.Table)
+	return m
+}
+
+// verify evaluates every query predicate that is applicable to the
+// concatenated tuple and not already passed, marking the done bits; it
+// reports whether all of them hold ("these concatenated matches are all
+// tuples ... that satisfy all query predicates that can be evaluated on the
+// columns in t and S").
+func (s *SteM) verify(cat *tuple.Tuple) bool {
+	for _, p := range s.cfg.Q.Preds {
+		if cat.Done.Has(p.ID) || !p.ApplicableTo(cat.Span) {
+			continue
+		}
+		if !p.Eval(cat) {
+			return false
+		}
+		cat.Done = cat.Done.With(p.ID)
+	}
+	return true
+}
+
+// shouldBounce implements the SteM BounceBack rule for probes (Table 2),
+// plus the BounceIfIndexAM extension of Section 4.1.
+func (s *SteM) shouldBounce(t *tuple.Tuple) bool {
+	if s.complete(t) {
+		return false // the SteM provably holds all matches: consume.
+	}
+	q := s.cfg.Q
+	safeViaScan := q.HasScanAM(s.cfg.Table) && t.Built.Contains(t.Span) && s.cfg.Window == 0
+	if !safeViaScan {
+		return true // mandatory bounce: missing matches would otherwise be lost.
+	}
+	if s.cfg.ProbeBounce == BounceIfIndexAM && q.HasIndexAM(s.cfg.Table) {
+		return true // optional bounce: give the eddy the index-probe choice.
+	}
+	return false
+}
+
+// complete reports whether the SteM provably contains all matches for probe
+// t: a scan EOT has arrived, or an index EOT covering t's bind values is
+// stored (the "cache on index lookups" role of Section 3.3).
+func (s *SteM) complete(t *tuple.Tuple) bool {
+	if s.cfg.Window > 0 {
+		return false
+	}
+	if s.fullEOT {
+		return true
+	}
+	for sig, set := range s.eotKeys {
+		cols := parseSig(sig)
+		vals, ok := s.bindCols(t, cols)
+		if !ok {
+			continue
+		}
+		if set[vals] {
+			return true
+		}
+	}
+	return false
+}
+
+// bindCols derives the values of the given columns of this SteM's table from
+// probe t via equality join predicates; ok is false if any column is
+// unbound.
+func (s *SteM) bindCols(t *tuple.Tuple, cols []int) (string, bool) {
+	row := make(tuple.Row, 0, len(cols))
+	for _, c := range cols {
+		found := false
+		for _, p := range s.cfg.Q.Preds {
+			if !p.IsEquiJoin() {
+				continue
+			}
+			if p.Left.Table == s.cfg.Table && p.Left.Col == c && t.Span.Has(p.Right.Table) {
+				row = append(row, t.Value(p.Right.Table, p.Right.Col))
+				found = true
+				break
+			}
+			if p.Right.Table == s.cfg.Table && p.Right.Col == c && t.Span.Has(p.Left.Table) {
+				row = append(row, t.Value(p.Left.Table, p.Left.Col))
+				found = true
+				break
+			}
+		}
+		if !found {
+			return "", false
+		}
+	}
+	return valuesKeyFromPairs(cols, row), true
+}
+
+func colSig(cols []int) string {
+	parts := make([]string, len(cols))
+	for i, c := range cols {
+		parts[i] = strconv.Itoa(c)
+	}
+	return strings.Join(parts, ",")
+}
+
+func parseSig(sig string) []int {
+	parts := strings.Split(sig, ",")
+	out := make([]int, len(parts))
+	for i, p := range parts {
+		out[i], _ = strconv.Atoi(p)
+	}
+	return out
+}
+
+// valuesKey encodes the values of the given columns of a full row.
+func valuesKey(row tuple.Row, cols []int) string {
+	var b strings.Builder
+	for i, c := range cols {
+		if i > 0 {
+			b.WriteByte('|')
+		}
+		b.WriteString(row[c].Key())
+	}
+	return b.String()
+}
+
+// valuesKeyFromPairs encodes column values supplied as a parallel slice.
+func valuesKeyFromPairs(cols []int, vals tuple.Row) string {
+	var b strings.Builder
+	for i := range cols {
+		if i > 0 {
+			b.WriteByte('|')
+		}
+		b.WriteString(vals[i].Key())
+	}
+	return b.String()
+}

@@ -1,0 +1,127 @@
+// Package trace collects per-module execution statistics from a run and
+// renders an EXPLAIN-ANALYZE-style report. Because the eddy architecture
+// has no plan, the interesting post-hoc artifact is not a tree but the
+// observed routing: how many tuples visited each module, what each visit
+// produced, and where the time went — exactly the signals the routing
+// policy itself adapts on.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/clock"
+	"repro/internal/eddy"
+	"repro/internal/flow"
+	"repro/internal/tuple"
+)
+
+// ModStats aggregates one module's activity.
+type ModStats struct {
+	Name      string
+	Visits    uint64
+	Outputs   uint64 // productive emissions (excluding input bounce-backs)
+	TotalCost clock.Duration
+	FirstBusy clock.Time
+	LastBusy  clock.Time
+}
+
+// Collector accumulates a run's statistics. Attach it to a simulation with
+// Attach before Run; it is not safe for concurrent use (the simulator is
+// single-threaded).
+type Collector struct {
+	mods    []ModStats
+	outputs uint64
+	lastOut clock.Time
+	// SpanHistogram counts emissions by span cardinality: index 1 holds
+	// singletons, 2 holds two-table partials, and so on. Partial results
+	// are the online-metric currency of the paper's FFF setting.
+	SpanHistogram []uint64
+}
+
+// NewCollector sizes a collector for the given module list.
+func NewCollector(mods []flow.Module) *Collector {
+	c := &Collector{mods: make([]ModStats, len(mods))}
+	for i, m := range mods {
+		c.mods[i].Name = m.Name()
+		c.mods[i].FirstBusy = -1
+	}
+	return c
+}
+
+// Attach hooks the collector into a simulation run. Existing hooks are
+// chained.
+func (c *Collector) Attach(sim *eddy.Sim) {
+	prevProcess := sim.OnProcess
+	sim.OnProcess = func(mod int, t *tuple.Tuple, at clock.Time, outputs int, cost clock.Duration) {
+		m := &c.mods[mod]
+		m.Visits++
+		m.Outputs += uint64(outputs)
+		m.TotalCost += cost
+		if m.FirstBusy < 0 {
+			m.FirstBusy = at
+		}
+		m.LastBusy = at
+		if prevProcess != nil {
+			prevProcess(mod, t, at, outputs, cost)
+		}
+	}
+	prevEmit := sim.OnEmit
+	sim.OnEmit = func(t *tuple.Tuple, at clock.Time) {
+		if t.EOT == nil && !t.Seed {
+			n := t.Span.Count()
+			for len(c.SpanHistogram) <= n {
+				c.SpanHistogram = append(c.SpanHistogram, 0)
+			}
+			c.SpanHistogram[n]++
+		}
+		if prevEmit != nil {
+			prevEmit(t, at)
+		}
+	}
+	prevOut := sim.OnOutput
+	sim.OnOutput = func(t *tuple.Tuple, at clock.Time) {
+		c.outputs++
+		c.lastOut = at
+		if prevOut != nil {
+			prevOut(t, at)
+		}
+	}
+}
+
+// Modules returns the per-module aggregates.
+func (c *Collector) Modules() []ModStats { return c.mods }
+
+// Report renders the collected statistics.
+func (c *Collector) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "adaptive execution report — %d results, last at %.6fs\n", c.outputs, c.lastOut.Seconds())
+	fmt.Fprintf(&b, "%-24s %10s %10s %12s %10s %10s\n", "module", "visits", "outputs", "busy(s)", "first(s)", "last(s)")
+
+	order := make([]int, len(c.mods))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return c.mods[order[a]].Visits > c.mods[order[b]].Visits })
+	for _, i := range order {
+		m := c.mods[i]
+		first := 0.0
+		if m.FirstBusy >= 0 {
+			first = m.FirstBusy.Seconds()
+		}
+		fmt.Fprintf(&b, "%-24s %10d %10d %12.6f %10.3f %10.3f\n",
+			m.Name, m.Visits, m.Outputs, m.TotalCost.Seconds(), first, m.LastBusy.Seconds())
+	}
+	if len(c.SpanHistogram) > 0 {
+		fmt.Fprintf(&b, "emissions by span width:")
+		for n, cnt := range c.SpanHistogram {
+			if n == 0 || cnt == 0 {
+				continue
+			}
+			fmt.Fprintf(&b, " %d-table=%d", n, cnt)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

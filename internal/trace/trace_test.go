@@ -1,0 +1,78 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/clock"
+	"repro/internal/eddy"
+	"repro/internal/pred"
+	"repro/internal/query"
+	"repro/internal/schema"
+	"repro/internal/source"
+	"repro/internal/tuple"
+	"repro/internal/value"
+)
+
+func row(vs ...int64) tuple.Row {
+	r := make(tuple.Row, len(vs))
+	for i, v := range vs {
+		r[i] = value.NewInt(v)
+	}
+	return r
+}
+
+func TestCollectorGathersModuleStats(t *testing.T) {
+	rT := schema.MustTable("R", schema.IntCol("k"), schema.IntCol("a"))
+	sT := schema.MustTable("S", schema.IntCol("x"), schema.IntCol("y"))
+	rData := source.MustTable(rT, []tuple.Row{row(1, 10), row(2, 20)})
+	sData := source.MustTable(sT, []tuple.Row{row(10, 100), row(20, 200)})
+	q := query.MustNew([]*schema.Table{rT, sT},
+		[]pred.P{pred.EquiJoin(0, 1, 1, 0)},
+		[]query.AMDecl{
+			{Table: 0, Kind: query.Scan, Data: rData, ScanSpec: source.ScanSpec{InterArrival: clock.Millisecond}},
+			{Table: 1, Kind: query.Scan, Data: sData, ScanSpec: source.ScanSpec{InterArrival: clock.Millisecond}},
+		})
+	r, err := eddy.NewRouter(q, eddy.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := eddy.NewSim(r)
+	var outs int
+	sim.OnOutput = func(*tuple.Tuple, clock.Time) { outs++ } // chained hook
+	c := NewCollector(r.Modules())
+	c.Attach(sim)
+	if _, err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if outs != 2 {
+		t.Errorf("chained OnOutput saw %d outputs, want 2", outs)
+	}
+	total := uint64(0)
+	for _, m := range c.Modules() {
+		total += m.Visits
+	}
+	if total == 0 {
+		t.Fatal("collector saw no visits")
+	}
+	// SteM(R) must have been visited: 2 builds + probes by S tuples.
+	var stemR ModStats
+	for _, m := range c.Modules() {
+		if m.Name == "SteM(R)" {
+			stemR = m
+		}
+	}
+	if stemR.Visits < 4 {
+		t.Errorf("SteM(R) visits = %d, want >= 4 (2 builds + 2 probes)", stemR.Visits)
+	}
+	// Emissions by span width: singletons and full results.
+	if len(c.SpanHistogram) < 3 || c.SpanHistogram[2] != 2 {
+		t.Errorf("span histogram = %v, want 2 two-table emissions", c.SpanHistogram)
+	}
+	rep := c.Report()
+	for _, want := range []string{"SteM(R)", "AM(R/scan)", "2 results", "span width"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package value
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// Generate implements quick.Generator, producing arbitrary values across all
+// kinds.
+func (V) Generate(r *rand.Rand, size int) reflect.Value {
+	switch r.Intn(4) {
+	case 0:
+		return reflect.ValueOf(NewNull())
+	case 1:
+		return reflect.ValueOf(NewInt(int64(r.Intn(2*size+1) - size)))
+	case 2:
+		letters := []byte("abcxyz")
+		n := r.Intn(4)
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = letters[r.Intn(len(letters))]
+		}
+		return reflect.ValueOf(NewStr(string(b)))
+	default:
+		return reflect.ValueOf(NewEOT())
+	}
+}
+
+func TestKindsAndConstructors(t *testing.T) {
+	cases := []struct {
+		v    V
+		kind Kind
+		str  string
+	}{
+		{NewInt(42), Int, "42"},
+		{NewInt(-7), Int, "-7"},
+		{NewStr("hi"), Str, "hi"},
+		{NewNull(), Null, "NULL"},
+		{NewEOT(), EOTMark, "EOT"},
+	}
+	for _, c := range cases {
+		if c.v.K != c.kind {
+			t.Errorf("%v: kind %v, want %v", c.v, c.v.K, c.kind)
+		}
+		if c.v.String() != c.str {
+			t.Errorf("%v: String %q, want %q", c.v, c.v.String(), c.str)
+		}
+	}
+	if !NewNull().IsNull() || NewInt(0).IsNull() {
+		t.Error("IsNull misclassifies")
+	}
+	if !NewEOT().IsEOT() || NewInt(0).IsEOT() {
+		t.Error("IsEOT misclassifies")
+	}
+}
+
+func TestEqualReflexiveSymmetric(t *testing.T) {
+	refl := func(v V) bool { return v.Equal(v) }
+	if err := quick.Check(refl, nil); err != nil {
+		t.Error(err)
+	}
+	sym := func(a, b V) bool { return a.Equal(b) == b.Equal(a) }
+	if err := quick.Check(sym, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompareTotalOrder(t *testing.T) {
+	anti := func(a, b V) bool { return a.Compare(b) == -b.Compare(a) }
+	if err := quick.Check(anti, nil); err != nil {
+		t.Error(err)
+	}
+	consistent := func(a, b V) bool { return (a.Compare(b) == 0) == a.Equal(b) }
+	if err := quick.Check(consistent, nil); err != nil {
+		t.Error(err)
+	}
+	trans := func(a, b, c V) bool {
+		if a.Compare(b) <= 0 && b.Compare(c) <= 0 {
+			return a.Compare(c) <= 0
+		}
+		return true
+	}
+	if err := quick.Check(trans, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHashAndKeyConsistentWithEqual(t *testing.T) {
+	f := func(a, b V) bool {
+		if a.Equal(b) {
+			return a.Hash() == b.Hash() && a.Key() == b.Key()
+		}
+		return a.Key() != b.Key() // Key must be injective
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompareAcrossKinds(t *testing.T) {
+	if NewNull().Compare(NewInt(0)) >= 0 {
+		t.Error("Null must sort below Int")
+	}
+	if NewInt(5).Compare(NewStr("a")) >= 0 {
+		t.Error("Int must sort below Str")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{Null: "null", Int: "int", Str: "str", EOTMark: "eot"} {
+		if k.String() != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, k.String(), want)
+		}
+	}
+	if Kind(99).String() == "" {
+		t.Error("unknown kind must still render")
+	}
+}
