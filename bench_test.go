@@ -308,6 +308,57 @@ func BenchmarkEngine_Concurrent(b *testing.B) {
 	}
 }
 
+// Batch-at-a-time ablation: the same in-memory three-way join on the
+// concurrent engine at eddy batch size 1 (tuple-at-a-time dataflow) vs the
+// default 64 (channel sends, SteM locking, and policy decisions amortized
+// across each batch). Allocations are reported so the per-tuple event and
+// synchronization overhead stays measurable.
+
+// benchMultiwayQ builds the in-memory R ⋈ S ⋈ T join driven by scans on all
+// three tables (R.a = S.x, S.y = T.key). The scans deliver in a burst (zero
+// inter-arrival), so the run measures pure dispatch — routing, channel
+// sends, module locking — rather than timer waits.
+func benchMultiwayQ(rows int) *query.Q {
+	rData := workload.RTable(workload.RSpec{Rows: rows, DistinctA: rows / 4, Seed: 1})
+	sData := workload.STable(rows/4, 0)
+	tData := workload.TTable(rows / 4)
+	return query.MustNew(
+		[]*schema.Table{rData.Schema, sData.Schema, tData.Schema},
+		[]pred.P{
+			pred.EquiJoin(0, 1, 1, 0), // R.a = S.x
+			pred.EquiJoin(1, 1, 2, 0), // S.y = T.key
+		},
+		[]query.AMDecl{
+			{Table: 0, Kind: query.Scan, Data: rData},
+			{Table: 1, Kind: query.Scan, Data: sData},
+			{Table: 2, Kind: query.Scan, Data: tData},
+		},
+	)
+}
+
+func benchConcurrentBatch(b *testing.B, batch int) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r, err := eddy.NewRouter(benchMultiwayQ(512), eddy.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		eng := eddy.NewConcurrent(r, clock.NewReal(0.0000001))
+		eng.BatchSize = batch
+		outs, err := eng.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(outs) == 0 {
+			b.Fatal("no results")
+		}
+	}
+}
+
+func BenchmarkConcurrentMultiway_Batch1(b *testing.B)  { benchConcurrentBatch(b, 1) }
+func BenchmarkConcurrentMultiway_Batch64(b *testing.B) { benchConcurrentBatch(b, 64) }
+
 // Memory-governance ablation (Section 6): equal vs probe-frequency
 // allocation under a halved resident budget.
 

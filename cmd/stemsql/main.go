@@ -10,6 +10,11 @@
 // or EOF exits). Each source gets a scan access method by default; declare
 // an extra asynchronous index with -index table:column:latency, e.g.
 // -index people:id:200ms, and pick a routing policy with -policy.
+//
+// -engine selects the executor: sim (default) is the deterministic
+// discrete-event simulator; concurrent runs the goroutine-per-module engine,
+// whose eddy moves tuples in batches of -batch (default 64; 1 is
+// tuple-at-a-time).
 package main
 
 import (
@@ -41,6 +46,8 @@ func main() {
 	flag.Var(&indexes, "index", "index access method as table:column:latency (repeatable)")
 	q := flag.String("q", "", "SQL statement; omit for a stdin REPL")
 	policyName := flag.String("policy", "benefitcost", "routing policy: fixed, lottery, benefitcost")
+	engineName := flag.String("engine", "sim", "execution engine: sim (deterministic) or concurrent")
+	batch := flag.Int("batch", eddy.DefaultBatchSize, "concurrent engine eddy batch size; 1 is tuple-at-a-time")
 	scanInterval := flag.Duration("scan-interval", time.Microsecond, "virtual inter-arrival pacing of scans")
 	seed := flag.Int64("seed", 1, "seed for randomized policies")
 	timing := flag.Bool("timing", false, "print per-result virtual emission times and run stats")
@@ -58,7 +65,7 @@ func main() {
 	}
 
 	runOne := func(stmt string) bool {
-		if err := run(stmt, cat, *policyName, *seed, *timing, *explain); err != nil {
+		if err := run(stmt, cat, *policyName, *engineName, *batch, *seed, *timing, *explain); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return false
 		}
@@ -127,7 +134,7 @@ func loadCatalog(tables, indexes tableFlags, scanInterval time.Duration) (sql.Ma
 	return cat, nil
 }
 
-func run(stmtSrc string, cat sql.MapCatalog, policyName string, seed int64, timing, explain bool) error {
+func run(stmtSrc string, cat sql.MapCatalog, policyName, engineName string, batch int, seed int64, timing, explain bool) error {
 	stmt, err := sql.Parse(stmtSrc)
 	if err != nil {
 		return err
@@ -151,13 +158,28 @@ func run(stmtSrc string, cat sql.MapCatalog, policyName string, seed int64, timi
 	if err != nil {
 		return err
 	}
-	sim := eddy.NewSim(r)
+	var outs []eddy.Output
 	var collector *trace.Collector
-	if explain {
-		collector = trace.NewCollector(r.Modules())
-		collector.Attach(sim)
+	var simEvents uint64
+	switch engineName {
+	case "sim":
+		sim := eddy.NewSim(r)
+		if explain {
+			collector = trace.NewCollector(r.Modules())
+			collector.Attach(sim)
+		}
+		outs, err = sim.Run()
+		simEvents = sim.Events()
+	case "concurrent":
+		if explain {
+			return fmt.Errorf("stemsql: -explain requires -engine sim")
+		}
+		eng := eddy.NewConcurrent(r, nil)
+		eng.BatchSize = batch
+		outs, err = eng.Run()
+	default:
+		return fmt.Errorf("stemsql: unknown engine %q (want sim or concurrent)", engineName)
 	}
-	outs, err := sim.Run()
 	if err != nil {
 		return err
 	}
@@ -192,7 +214,10 @@ func run(stmtSrc string, cat sql.MapCatalog, policyName string, seed int64, timi
 	}
 	fmt.Fprintf(w, "-- %d rows", len(tuples))
 	if timing {
-		fmt.Fprintf(w, "; %d routing steps; %d sim events", r.Routed(), sim.Events())
+		fmt.Fprintf(w, "; %d routing steps", r.Routed())
+		if engineName == "sim" {
+			fmt.Fprintf(w, "; %d sim events", simEvents)
+		}
 	}
 	fmt.Fprintln(w)
 	if collector != nil {

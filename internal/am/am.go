@@ -127,6 +127,12 @@ func (a *AM) Process(t *tuple.Tuple, now clock.Time) ([]flow.Emission, clock.Dur
 	return out, a.cfg.DispatchCost + cost
 }
 
+// The AM intentionally has no native ProcessBatch: engines batch it through
+// the flow.Lift shim's sequential loop. Holding a.mu across a batch would
+// serialize the CPU side of lookups that index AMs with Parallel > 1 rely
+// on overlapping, so the lock stays fine-grained inside probe/scan and a
+// native batch path would have nothing left to amortize.
+
 // scan streams out the whole source, each row delayed per the ScanSpec, and
 // ends with a full EOT ("in the case of a scan AM, the predicate is simply
 // true"). The seed tuple is consumed.
@@ -135,9 +141,7 @@ func (a *AM) scan() []flow.Emission {
 	rows := a.decl.Data.Rows
 	times, eotAt := a.decl.ScanSpec.RowTimes(len(rows))
 	out := make([]flow.Emission, 0, len(rows)+1)
-	a.mu.Lock()
-	a.stats.SeedsServed++
-	a.mu.Unlock()
+	rowsOut := uint64(0)
 	for i, r := range rows {
 		if a.cfg.ApplySelections && !a.passesSelections(r) {
 			continue
@@ -147,13 +151,13 @@ func (a *AM) scan() []flow.Emission {
 			a.markSelections(s)
 		}
 		out = append(out, flow.EmitAfter(s, times[i]))
-		a.mu.Lock()
-		a.stats.RowsOut++
-		a.mu.Unlock()
+		rowsOut++
 	}
 	eot := tuple.NewEOT(n, a.decl.Table, a.eotRow(nil, nil), nil)
 	out = append(out, flow.EmitAfter(eot, eotAt))
 	a.mu.Lock()
+	a.stats.SeedsServed++
+	a.stats.RowsOut += rowsOut
 	a.stats.EOTsOut++
 	a.mu.Unlock()
 	return out
@@ -200,6 +204,7 @@ func (a *AM) probe(t *tuple.Tuple) ([]flow.Emission, clock.Duration) {
 
 	n := len(q.Tables)
 	var out []flow.Emission
+	rowsOut := uint64(0)
 	for _, r := range a.index.Lookup(vals) {
 		s := tuple.NewSingleton(n, a.decl.Table, r)
 		cat := t.Concat(s)
@@ -210,14 +215,13 @@ func (a *AM) probe(t *tuple.Tuple) ([]flow.Emission, clock.Duration) {
 			a.markSelections(s)
 		}
 		out = append(out, flow.Emit(s))
-		a.mu.Lock()
-		a.stats.RowsOut++
-		a.mu.Unlock()
+		rowsOut++
 	}
 	keyCols := a.decl.IndexSpec.KeyCols
 	eot := tuple.NewEOT(n, a.decl.Table, a.eotRow(keyCols, vals), keyCols)
 	out = append(out, flow.Emit(eot))
 	a.mu.Lock()
+	a.stats.RowsOut += rowsOut
 	a.stats.EOTsOut++
 	a.mu.Unlock()
 

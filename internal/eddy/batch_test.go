@@ -1,0 +1,156 @@
+package eddy
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/clock"
+	"repro/internal/oracle"
+	"repro/internal/policy"
+	"repro/internal/tuple"
+	"repro/internal/value"
+)
+
+// mixedRoutingTuples builds a batch of tuples covering the router's paths:
+// unbuilt singletons (BuildFirst fast path), built singletons (policy-routed
+// probes, three per table so partitions have real width), and an EOT.
+func mixedRoutingTuples(tb *testing.T) []*tuple.Tuple {
+	tb.Helper()
+	n := 2
+	var out []*tuple.Tuple
+	for tab := 0; tab < n; tab++ {
+		for k := 0; k < 3; k++ {
+			row := tuple.Row{value.NewInt(int64(k)), value.NewInt(int64(10 * k))}
+			out = append(out, tuple.NewSingleton(n, tab, row))
+		}
+	}
+	for tab := 0; tab < n; tab++ {
+		for k := 0; k < 3; k++ {
+			row := tuple.Row{value.NewInt(int64(k)), value.NewInt(int64(10 * k))}
+			s := tuple.NewSingleton(n, tab, row)
+			s.Built = tuple.Single(tab)
+			s.CompTS[tab] = tuple.Timestamp(10*tab + k + 1)
+			out = append(out, s)
+		}
+	}
+	eotRow := tuple.Row{value.NewEOT(), value.NewEOT()}
+	out = append(out, tuple.NewEOT(n, 0, eotRow, nil))
+	return out
+}
+
+// TestRouteBatchMatchesPerTupleRoute routes the same mixed batch through one
+// RouteBatch call and through per-tuple Route calls on an identical router,
+// and requires identical decisions and identical BoundedRepetition
+// bookkeeping: partition grouping must be a pure amortization.
+func TestRouteBatchMatchesPerTupleRoute(t *testing.T) {
+	q := twoTableQuery(t)
+
+	r1, err := NewRouter(q, Options{Policy: policy.NewFixed()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := NewRouter(q, Options{Policy: policy.NewFixed()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := mixedRoutingTuples(t)
+	ts2 := mixedRoutingTuples(t)
+
+	want := make([]Decision, 0, len(ts1))
+	for _, tp := range ts1 {
+		want = append(want, r1.Route(tp, NewSim(r1)))
+	}
+	got := r2.RouteBatch(ts2, NewSim(r2), nil)
+
+	if len(got) != len(want) {
+		t.Fatalf("RouteBatch returned %d decisions, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("tuple %d (%s): batch decision %+v, per-tuple decision %+v", i, ts1[i], got[i], want[i])
+		}
+		v1, v2 := ts1[i].Visits, ts2[i].Visits
+		if len(v1) != len(v2) {
+			t.Errorf("tuple %d: visit vectors sized %d vs %d", i, len(v1), len(v2))
+			continue
+		}
+		for m := range v1 {
+			if v1[m] != v2[m] {
+				t.Errorf("tuple %d: visits[%d] = %d batch vs %d per-tuple", i, m, v2[m], v1[m])
+			}
+		}
+	}
+	if r1.Routed() != r2.Routed() {
+		t.Errorf("routed counters diverge: %d per-tuple vs %d batch", r1.Routed(), r2.Routed())
+	}
+	if r1.Stuck() != 0 || r2.Stuck() != 0 {
+		t.Errorf("stuck: %d per-tuple, %d batch; want 0", r1.Stuck(), r2.Stuck())
+	}
+}
+
+// TestRouteBatchSingleMatchesRoute pins the batch-of-one contract the
+// simulator relies on for bit-identical figure reproduction.
+func TestRouteBatchSingleMatchesRoute(t *testing.T) {
+	q := twoTableQuery(t)
+	for i, tp := range mixedRoutingTuples(t) {
+		r1, err := NewRouter(q, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := NewRouter(q, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		one := mixedRoutingTuples(t)[i]
+		want := r1.Route(tp, NewSim(r1))
+		got := r2.RouteBatch([]*tuple.Tuple{one}, NewSim(r2), nil)
+		if len(got) != 1 || got[0] != want {
+			t.Fatalf("tuple %d: RouteBatch(1) = %+v, Route = %+v", i, got, want)
+		}
+	}
+}
+
+// TestConcurrentBatchSizesAgainstOracle runs the random-query correctness
+// property on the concurrent engine across batch sizes, including the
+// tuple-at-a-time degenerate case and sizes that leave partial batches.
+func TestConcurrentBatchSizesAgainstOracle(t *testing.T) {
+	sizes := []int{1, 3, 64}
+	seeds := 6
+	if testing.Short() {
+		seeds = 2
+	}
+	for _, bs := range sizes {
+		for seed := 0; seed < seeds; seed++ {
+			bs, seed := bs, seed
+			t.Run(fmt.Sprintf("batch=%d/seed=%d", bs, seed), func(t *testing.T) {
+				t.Parallel()
+				rng := rand.New(rand.NewSource(int64(seed)))
+				q := genQuery(rng)
+				opts := genOptions(rng, q)
+				r, err := NewRouter(q, opts)
+				if err != nil {
+					t.Fatalf("NewRouter: %v", err)
+				}
+				eng := NewConcurrent(r, clock.NewReal(0.00002))
+				eng.BatchSize = bs
+				outs, err := eng.Run()
+				if err != nil {
+					t.Fatalf("Run: %v", err)
+				}
+				if r.Stuck() != 0 {
+					t.Errorf("router stuck %d", r.Stuck())
+				}
+				got := make(oracle.Result)
+				for _, o := range outs {
+					got[o.T.ResultKey()]++
+				}
+				want := oracle.Compute(q)
+				missing, extra := oracle.Diff(want, got)
+				if len(missing) > 0 || len(extra) > 0 {
+					t.Errorf("missing=%d extra=%d (got %d want %d)", len(missing), len(extra), len(got), len(want))
+				}
+			})
+		}
+	}
+}

@@ -1,9 +1,14 @@
 // concurrent.go is the channel-based engine: every module runs in its own
-// goroutine (a worker pool sized by Parallel()), exchanging tuples with the
-// eddy over channels — the paper's Telegraph setting, where "each module
-// runs asynchronously in a separate thread". Service costs and source
-// latencies elapse on a real clock, optionally compressed so the paper's
-// multi-minute runs finish in milliseconds.
+// goroutine (a worker pool sized by Parallel()), exchanging batches of
+// tuples with the eddy over channels — the paper's Telegraph setting, where
+// "each module runs asynchronously in a separate thread". Service costs and
+// source latencies elapse on a real clock, optionally compressed so the
+// paper's multi-minute runs finish in milliseconds.
+//
+// Dataflow is batch-at-a-time: the eddy coalesces routed tuples into
+// per-module batches of up to BatchSize, so channel sends, inbox wakeups,
+// module locking, and policy decisions amortize across the batch. BatchSize
+// 1 reproduces the original tuple-at-a-time behavior exactly.
 //
 // The engine is not deterministic (that is the simulator's job); it is the
 // deployment-shaped engine, and the race-exercising tests run the same
@@ -17,16 +22,22 @@ import (
 	"time"
 
 	"repro/internal/clock"
+	"repro/internal/flow"
 	"repro/internal/policy"
 	"repro/internal/tuple"
 )
 
-// inbox is an unbounded FIFO of tuples; unboundedness removes the
+// DefaultBatchSize is the number of tuples the eddy coalesces into one
+// module batch when Concurrent.BatchSize is left zero.
+const DefaultBatchSize = 64
+
+// inbox is an unbounded FIFO of batches; unboundedness removes the
 // eddy↔module send cycle that could otherwise deadlock bounded channels.
 type inbox struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
-	items  []*tuple.Tuple
+	items  []*flow.Batch
+	tuples int
 	closed bool
 }
 
@@ -36,14 +47,15 @@ func newInbox() *inbox {
 	return b
 }
 
-func (b *inbox) push(t *tuple.Tuple) {
+func (b *inbox) push(batch *flow.Batch) {
 	b.mu.Lock()
-	b.items = append(b.items, t)
+	b.items = append(b.items, batch)
+	b.tuples += batch.Len()
 	b.mu.Unlock()
 	b.cond.Signal()
 }
 
-func (b *inbox) pop() (*tuple.Tuple, bool) {
+func (b *inbox) pop() (*flow.Batch, bool) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	for len(b.items) == 0 && !b.closed {
@@ -52,15 +64,17 @@ func (b *inbox) pop() (*tuple.Tuple, bool) {
 	if len(b.items) == 0 {
 		return nil, false
 	}
-	t := b.items[0]
+	batch := b.items[0]
 	b.items = b.items[1:]
-	return t, true
+	b.tuples -= batch.Len()
+	return batch, true
 }
 
+// len returns the number of tuples (not batches) waiting.
 func (b *inbox) len() int {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	return len(b.items)
+	return b.tuples
 }
 
 func (b *inbox) close() {
@@ -70,11 +84,11 @@ func (b *inbox) close() {
 	b.cond.Broadcast()
 }
 
-// eddyEvent is a message to the eddy goroutine: a tuple to route or policy
-// feedback from a module worker (policies are not thread-safe, so all policy
-// calls happen on the eddy goroutine).
+// eddyEvent is a message to the eddy goroutine: a batch of tuples to route
+// or policy feedback from a module worker (policies are not thread-safe, so
+// all policy calls happen on the eddy goroutine).
 type eddyEvent struct {
-	t  *tuple.Tuple
+	b  *flow.Batch
 	fb *policy.Feedback
 }
 
@@ -83,6 +97,10 @@ type Concurrent struct {
 	r   Routing
 	clk clock.Clock
 
+	// BatchSize caps the number of tuples the eddy coalesces into one
+	// channel send to a module; 0 defaults to DefaultBatchSize at Run, and
+	// 1 reproduces per-tuple dataflow exactly. Set before Run.
+	BatchSize int
 	// OnOutput is called (on the eddy goroutine) for each result.
 	OnOutput func(t *tuple.Tuple, at clock.Time)
 	// WallTimeout aborts the run after this much wall time; 0 disables. The
@@ -92,7 +110,22 @@ type Concurrent struct {
 	events   chan eddyEvent
 	inboxes  []*inbox
 	inflight atomic.Int64
-	costEWMA []atomic.Int64 // per-module EWMA service cost, ns
+	costEWMA []atomic.Int64 // per-module EWMA service cost per tuple, ns
+
+	// pend, staging, and decisions are eddy-goroutine-only: the per-module
+	// coalescing buffers, the reused routing batch incoming tuples drain
+	// into, and the reused RouteBatch scratch. pend is keyed by the
+	// tuples' span within each module, so every released batch is
+	// span-homogeneous and its policy feedback attributes to one tuplestate
+	// signature. batchCap is the per-module coalescing limit: BatchSize for
+	// single-server modules, 1 for modules with internal parallelism
+	// (batching those would serialize service their Parallel() worker pool
+	// is meant to overlap — e.g. asynchronous index lookups).
+	pend      []map[tuple.TableSet]*flow.Batch
+	pendCount []int
+	batchCap  []int
+	staging   *flow.Batch
+	decisions []Decision
 
 	mu      sync.Mutex
 	outputs []Output
@@ -123,18 +156,31 @@ func (c *Concurrent) Backlog(mod int) clock.Duration {
 	if par == 0 {
 		return 0
 	}
-	waiting := c.inboxes[mod].len()
+	waiting := c.inboxes[mod].len() + c.pendCount[mod]
 	return clock.Duration(int64(waiting) * c.costEWMA[mod].Load() / int64(par))
 }
 
 // Run executes the query to completion and returns the results in output
 // order. It is safe to call once.
 func (c *Concurrent) Run() ([]Output, error) {
+	if c.BatchSize <= 0 {
+		c.BatchSize = DefaultBatchSize
+	}
 	mods := c.r.Modules()
 	c.inboxes = make([]*inbox, len(mods))
+	c.pend = make([]map[tuple.TableSet]*flow.Batch, len(mods))
+	c.pendCount = make([]int, len(mods))
+	c.batchCap = make([]int, len(mods))
+	c.staging = flow.NewBatch(c.BatchSize)
 	var wg sync.WaitGroup
 	for i, m := range mods {
 		c.inboxes[i] = newInbox()
+		c.pend[i] = make(map[tuple.TableSet]*flow.Batch)
+		if m.Parallel() == 1 {
+			c.batchCap[i] = c.BatchSize
+		} else {
+			c.batchCap[i] = 1
+		}
 		workers := m.Parallel()
 		if workers == 0 {
 			workers = 64
@@ -150,7 +196,7 @@ func (c *Concurrent) Run() ([]Output, error) {
 	if len(seeds) > 0 {
 		go func() {
 			for _, s := range seeds {
-				c.events <- eddyEvent{t: s}
+				c.events <- eddyEvent{b: flow.BatchOf(s)}
 			}
 		}()
 
@@ -161,28 +207,60 @@ func (c *Concurrent) Run() ([]Output, error) {
 			timeout = tm.C
 		}
 
-		// The eddy goroutine: the only caller of Route/Choose/Observe.
+		timedOut := func() {
+			c.errOnce.Do(func() {
+				c.mu.Lock()
+				c.err = fmt.Errorf("eddy: wall timeout after %v with %d tuples in flight",
+					c.WallTimeout, c.inflight.Load())
+				c.mu.Unlock()
+			})
+		}
+
+		// The eddy goroutine: the only caller of RouteBatch/Choose/Observe.
+		// Incoming tuples drain into the staging batch and are routed once
+		// it reaches BatchSize or the event channel momentarily empties, so
+		// routing (and the policy) sees the widest batches the current load
+		// can supply.
 	loop:
 		for {
+			var ev eddyEvent
 			select {
-			case ev := <-c.events:
-				if ev.fb != nil {
-					if ev.fb.Emitted >= 0 {
-						c.r.Policy().Observe(*ev.fb)
-					}
-				} else {
-					c.route(ev.t)
-				}
+			case ev = <-c.events:
+			case <-timeout:
+				// Checked here too so sustained event traffic cannot
+				// starve the watchdog.
+				timedOut()
+				break loop
+			default:
+				// Nothing immediately pending: route what is staged, then
+				// release the coalescing buffers before blocking, so the
+				// tuples held there can produce the events we are about to
+				// wait for.
+				c.routeStaged()
+				c.flushAll()
 				if c.inflight.Load() == 0 {
 					break loop
 				}
-			case <-timeout:
-				c.errOnce.Do(func() {
-					c.mu.Lock()
-					c.err = fmt.Errorf("eddy: wall timeout after %v with %d tuples in flight",
-						c.WallTimeout, c.inflight.Load())
-					c.mu.Unlock()
-				})
+				select {
+				case ev = <-c.events:
+				case <-timeout:
+					timedOut()
+					break loop
+				}
+			}
+			if ev.fb != nil {
+				if ev.fb.Emitted >= 0 {
+					c.r.Policy().Observe(*ev.fb)
+				}
+			} else {
+				for _, t := range ev.b.Tuples {
+					c.staging.Add(t)
+					if c.staging.Len() >= c.BatchSize {
+						c.routeStaged()
+					}
+				}
+			}
+			if c.inflight.Load() == 0 {
 				break loop
 			}
 		}
@@ -205,81 +283,139 @@ func (c *Concurrent) Run() ([]Output, error) {
 	return c.outputs, c.err
 }
 
-func (c *Concurrent) route(t *tuple.Tuple) {
+// routeStaged routes the staged tuples in one RouteBatch call, coalescing
+// module-bound tuples into the per-module pending buffers.
+func (c *Concurrent) routeStaged() {
+	if c.staging.Len() == 0 {
+		return
+	}
+	b := c.staging
+	unresolved := int64(b.Len())
 	defer func() {
+		b.Reset()
 		if r := recover(); r != nil {
 			c.errOnce.Do(func() {
 				c.mu.Lock()
 				c.err = fmt.Errorf("eddy: routing panic: %v", r)
 				c.mu.Unlock()
 			})
-			c.inflight.Add(-1)
+			c.inflight.Add(-unresolved)
 		}
 	}()
-	d := c.r.Route(t, c)
-	switch {
-	case d.Output:
-		now := c.clk.Now()
-		c.mu.Lock()
-		c.outputs = append(c.outputs, Output{T: t, At: now})
-		c.mu.Unlock()
-		if c.OnOutput != nil {
-			c.OnOutput(t, now)
-		}
-		c.inflight.Add(-1)
-	case d.Drop:
-		c.inflight.Add(-1)
-	default:
-		if d.Delay > 0 {
-			mod, delay := d.Module, d.Delay
+	c.decisions = c.r.RouteBatch(b.Tuples, c, c.decisions[:0])
+	for i, d := range c.decisions {
+		t := b.Tuples[i]
+		switch {
+		case d.Output:
+			now := c.clk.Now()
+			c.mu.Lock()
+			c.outputs = append(c.outputs, Output{T: t, At: now})
+			c.mu.Unlock()
+			if c.OnOutput != nil {
+				c.OnOutput(t, now)
+			}
+			c.inflight.Add(-1)
+		case d.Drop:
+			c.inflight.Add(-1)
+		case d.Delay > 0:
+			mod, delay, dt := d.Module, d.Delay, t
 			go func() {
 				<-c.clk.After(delay)
-				c.inboxes[mod].push(t)
+				c.inboxes[mod].push(flow.BatchOf(dt))
 			}()
-			return
+		default:
+			c.enqueue(d.Module, t)
 		}
-		c.inboxes[d.Module].push(t)
+		unresolved--
+	}
+}
+
+// enqueue adds a tuple to a module's pending batch for the tuple's span,
+// releasing the batch once it reaches the module's coalescing cap. Parallel
+// modules have cap 1, so their tuples are pushed straight through and their
+// worker pools keep overlapping service.
+func (c *Concurrent) enqueue(mod int, t *tuple.Tuple) {
+	if c.batchCap[mod] <= 1 {
+		c.inboxes[mod].push(flow.BatchOf(t))
+		return
+	}
+	p := c.pend[mod][t.Span]
+	if p == nil {
+		p = flow.NewBatch(c.batchCap[mod])
+		c.pend[mod][t.Span] = p
+	}
+	p.Add(t)
+	c.pendCount[mod]++
+	if p.Len() >= c.batchCap[mod] {
+		delete(c.pend[mod], t.Span)
+		c.pendCount[mod] -= p.Len()
+		c.inboxes[mod].push(p)
+	}
+}
+
+// flushAll releases every non-empty pending batch.
+func (c *Concurrent) flushAll() {
+	for mod, spans := range c.pend {
+		if len(spans) == 0 {
+			continue
+		}
+		for span, p := range spans {
+			delete(spans, span)
+			c.inboxes[mod].push(p)
+		}
+		c.pendCount[mod] = 0
 	}
 }
 
 func (c *Concurrent) worker(mod int, wg *sync.WaitGroup) {
 	defer wg.Done()
-	m := c.r.Modules()[mod]
+	m := flow.Lift(c.r.Modules()[mod])
 	for {
-		t, ok := c.inboxes[mod].pop()
+		b, ok := c.inboxes[mod].pop()
 		if !ok {
 			return
 		}
-		ems, cost := m.Process(t, c.clk.Now())
-		c.observeCost(mod, cost)
+		ems, cost := m.ProcessBatch(b, c.clk.Now())
+		c.observeCost(mod, cost, b.Len())
 		c.clk.Sleep(cost)
 
 		// Account for the net dataflow change before emitting, so the
 		// counter can never dip to zero while emissions are pending.
-		delta := int64(len(ems)) - 1
-		outputs := 0
-		for _, em := range ems {
-			if em.T != t {
-				outputs++
-			}
-		}
+		delta := int64(len(ems)) - int64(b.Len())
+		outputs := countNew(b, ems)
 		if delta > 0 {
 			c.inflight.Add(delta)
 		}
+		// Batches are span-homogeneous (the eddy coalesces per span), so the
+		// first tuple's span signs the whole batch; Visits lets learners
+		// normalize the batch totals back to per-visit values.
 		fb := policy.Feedback{
-			Module: mod, Sig: uint64(t.Span),
+			Module: mod, Sig: uint64(b.Tuples[0].Span),
 			Outputs: outputs, Emitted: len(ems), Cost: cost, Now: c.clk.Now(),
+			Visits: b.Len(),
 		}
+		var ready *flow.Batch
 		for _, em := range ems {
-			if em.Delay > 0 {
+			switch {
+			case em.Delay > 0:
 				em := em
 				go func() {
 					<-c.clk.After(em.Delay)
-					c.events <- eddyEvent{t: em.T}
+					c.events <- eddyEvent{b: flow.BatchOf(em.T)}
 				}()
-			} else {
-				c.events <- eddyEvent{t: em.T}
+			case c.BatchSize == 1:
+				// Tuple-at-a-time mode: every emission is its own event,
+				// exactly as the pre-batching engine sent them.
+				c.events <- eddyEvent{b: flow.BatchOf(em.T)}
+			default:
+				if ready == nil {
+					ready = flow.NewBatch(len(ems))
+				}
+				ready.Add(em.T)
 			}
+		}
+		if ready != nil {
+			c.events <- eddyEvent{b: ready}
 		}
 		c.events <- eddyEvent{fb: &fb}
 		if delta < 0 {
@@ -292,11 +428,42 @@ func (c *Concurrent) worker(mod int, wg *sync.WaitGroup) {
 	}
 }
 
-func (c *Concurrent) observeCost(mod int, cost clock.Duration) {
+// countNew counts the emissions that are not batch inputs bouncing back —
+// the productive output of the batch. Small batches use a linear scan; big
+// ones build a one-shot identity set so the count stays O(batch+emissions).
+func countNew(b *flow.Batch, ems []flow.Emission) int {
+	outputs := 0
+	if b.Len() <= 8 {
+		for _, em := range ems {
+			if !b.Contains(em.T) {
+				outputs++
+			}
+		}
+		return outputs
+	}
+	in := make(map[*tuple.Tuple]struct{}, b.Len())
+	for _, t := range b.Tuples {
+		in[t] = struct{}{}
+	}
+	for _, em := range ems {
+		if _, ok := in[em.T]; !ok {
+			outputs++
+		}
+	}
+	return outputs
+}
+
+// observeCost folds a batch's total service cost into the module's
+// per-tuple EWMA.
+func (c *Concurrent) observeCost(mod int, cost clock.Duration, n int) {
+	if n <= 0 {
+		return
+	}
+	per := int64(cost) / int64(n)
 	old := c.costEWMA[mod].Load()
-	nw := int64(cost)
+	nw := per
 	if old != 0 {
-		nw = (int64(cost) + 4*old) / 5
+		nw = (per + 4*old) / 5
 	}
 	c.costEWMA[mod].Store(nw)
 }

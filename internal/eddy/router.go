@@ -289,18 +289,165 @@ func (r *Router) Seeds() []*tuple.Tuple {
 // Route decides the fate of one tuple returned to the eddy.
 func (r *Router) Route(t *tuple.Tuple, env policy.Env) Decision {
 	r.routed.Add(1)
+	if d, ok := r.routeFast(t); ok {
+		return d
+	}
+	cands := r.candidates(t)
+	if len(cands) == 0 {
+		return r.noCandidates(t)
+	}
+	choice := r.pol.Choose(t, cands, env)
+	if choice < 0 || choice >= len(cands) {
+		choice = 0
+	}
+	return r.applyChoice(t, cands[choice])
+}
 
+// RouteBatch decides the fate of every tuple of one batch, appending one
+// Decision per tuple (in input order) to dst. Tuples that share routing
+// state — the lineage and readiness fields the Table 2 constraints and the
+// policies read — form one partition, whose constraint-legal moves are
+// computed and whose policy decision is made once; per-tuple bookkeeping
+// (BoundedRepetition visits, re-probe pacing) is still applied individually.
+// A batch of one routes exactly like Route.
+func (r *Router) RouteBatch(ts []*tuple.Tuple, env policy.Env, dst []Decision) []Decision {
+	if len(ts) == 1 {
+		return append(dst, r.Route(ts[0], env))
+	}
+	r.routed.Add(uint64(len(ts)))
+	base := len(dst)
+	for range ts {
+		dst = append(dst, Decision{})
+	}
+
+	// Pass 1: resolve constraint-forced moves per tuple and partition the
+	// rest by routing signature.
+	type group struct {
+		idxs []int
+	}
+	var order []routeSig
+	groups := make(map[routeSig]*group)
+	for i, t := range ts {
+		if d, ok := r.routeFast(t); ok {
+			dst[base+i] = d
+			continue
+		}
+		sig := sigOf(t)
+		g := groups[sig]
+		if g == nil {
+			g = &group{}
+			groups[sig] = g
+			order = append(order, sig)
+		}
+		g.idxs = append(g.idxs, i)
+	}
+
+	// Pass 2: one candidate computation and one policy decision per
+	// partition, applied to every member.
+	for _, sig := range order {
+		g := groups[sig]
+		rep := ts[g.idxs[0]]
+		cands := r.candidates(rep)
+		if len(cands) == 0 {
+			for _, i := range g.idxs {
+				dst[base+i] = r.noCandidates(ts[i])
+			}
+			continue
+		}
+		choice := r.choose(rep, len(g.idxs), cands, env)
+		if choice < 0 || choice >= len(cands) {
+			choice = 0
+		}
+		for _, i := range g.idxs {
+			dst[base+i] = r.applyChoice(ts[i], cands[choice])
+		}
+	}
+	return dst
+}
+
+// choose asks the policy for a decision covering n routing-equivalent
+// tuples, through the batch entry point when the policy offers one.
+func (r *Router) choose(t *tuple.Tuple, n int, cands []policy.Candidate, env policy.Env) int {
+	if n > 1 {
+		if bc, ok := r.pol.(policy.BatchChooser); ok {
+			return bc.ChooseBatch(t, n, cands, env)
+		}
+	}
+	return r.pol.Choose(t, cands, env)
+}
+
+// routeSig is the partition key of RouteBatch: two tuples with equal
+// signatures see identical constraint-legal moves and identical policy
+// inputs (up to the exact LastProbeMatches count, which policies read only
+// as a zero/nonzero signal).
+type routeSig struct {
+	span       tuple.TableSet
+	done       tuple.PredSet
+	built      tuple.TableSet
+	probeTable int
+	flags      uint8
+	visits     string
+}
+
+const (
+	sigPriorProber uint8 = 1 << iota
+	sigAMProbed
+	sigHasMatches
+)
+
+// sigOf computes a tuple's routing signature.
+func sigOf(t *tuple.Tuple) routeSig {
+	sig := routeSig{span: t.Span, done: t.Done, built: t.Built}
+	if t.PriorProber {
+		sig.flags |= sigPriorProber
+		sig.probeTable = t.ProbeTable
+	}
+	if t.AMProbed {
+		sig.flags |= sigAMProbed
+	}
+	if t.LastProbeMatches > 0 {
+		sig.flags |= sigHasMatches
+	}
+	sig.visits = visitsKey(t.Visits)
+	return sig
+}
+
+// visitsKey encodes a visit-count vector compactly; an all-zero vector
+// normalizes to the unsized form so fresh and lazily-sized tuples group
+// together.
+func visitsKey(v []uint16) string {
+	allZero := true
+	for _, x := range v {
+		if x != 0 {
+			allZero = false
+			break
+		}
+	}
+	if allZero {
+		return ""
+	}
+	b := make([]byte, 2*len(v))
+	for i, x := range v {
+		b[2*i] = byte(x)
+		b[2*i+1] = byte(x >> 8)
+	}
+	return string(b)
+}
+
+// routeFast resolves the moves Table 2 forces outright, before any policy
+// involvement; ok is false when the tuple needs a candidate computation.
+func (r *Router) routeFast(t *tuple.Tuple) (Decision, bool) {
 	// Seeds go straight to their scan AM.
 	if t.Seed {
-		return Decision{Module: t.SeedAM, Kind: policy.ProbeAM}
+		return Decision{Module: t.SeedAM, Kind: policy.ProbeAM}, true
 	}
 	// EOT tuples are routed as build tuples to their table's SteM; after
 	// that they leave the dataflow.
 	if t.EOT != nil {
 		if r.visit(t, r.stemMod[t.EOT.Table]) {
-			return Decision{Module: r.stemMod[t.EOT.Table], Kind: policy.BuildSteM}
+			return Decision{Module: r.stemMod[t.EOT.Table], Kind: policy.BuildSteM}, true
 		}
-		return Decision{Drop: true}
+		return Decision{Drop: true}, true
 	}
 	// BuildFirst outranks output: a single-table query with competitive AMs
 	// relies on the build's set-semantics dedup ("because of the BuildFirst
@@ -310,41 +457,42 @@ func (r *Router) Route(t *tuple.Tuple, env policy.Env) Decision {
 	if t.IsSingleton() && !t.Built.Has(t.SingleTable()) && !t.PriorProber && !r.skips(t.SingleTable()) {
 		mod := r.stemMod[t.SingleTable()]
 		if r.visit(t, mod) {
-			return Decision{Module: mod, Kind: policy.BuildSteM}
+			return Decision{Module: mod, Kind: policy.BuildSteM}, true
 		}
-		return Decision{Drop: true}
+		return Decision{Drop: true}, true
 	}
 	// "A tuple is removed from the eddy's dataflow and sent to the output if
 	// it spans all base tables and is verified to pass all predicates."
 	if t.Span == r.Q.AllTables() && t.Done == r.Q.AllPreds() {
-		return Decision{Output: true}
+		return Decision{Output: true}, true
 	}
 	// A prior prober that has probed its completion AM has served its
 	// purpose: the AM's matches regenerate its results.
 	if t.PriorProber && t.AMProbed {
-		return Decision{Drop: true}
+		return Decision{Drop: true}, true
 	}
+	return Decision{}, false
+}
 
-	cands := r.candidates(t)
-	if len(cands) == 0 {
-		if t.PriorProber && r.safeDrop(t) {
-			return Decision{Drop: true}
-		}
-		// In skip-build mode, tuples not spanning the skip table are pure
-		// state: once built (and through their selections) they leave the
-		// dataflow; every result is generated by a skip-side prober.
-		if r.opts.SkipBuild && !t.Span.Has(r.opts.SkipBuildTable) {
-			return Decision{Drop: true}
-		}
-		// No legal move: should be unreachable for validated queries.
-		r.stuck.Add(1)
+// noCandidates decides the fate of a tuple with no constraint-legal move.
+func (r *Router) noCandidates(t *tuple.Tuple) Decision {
+	if t.PriorProber && r.safeDrop(t) {
 		return Decision{Drop: true}
 	}
-	choice := r.pol.Choose(t, cands, env)
-	if choice < 0 || choice >= len(cands) {
-		choice = 0
+	// In skip-build mode, tuples not spanning the skip table are pure
+	// state: once built (and through their selections) they leave the
+	// dataflow; every result is generated by a skip-side prober.
+	if r.opts.SkipBuild && !t.Span.Has(r.opts.SkipBuildTable) {
+		return Decision{Drop: true}
 	}
-	c := cands[choice]
+	// No legal move: should be unreachable for validated queries.
+	r.stuck.Add(1)
+	return Decision{Drop: true}
+}
+
+// applyChoice turns the selected candidate into a Decision for one tuple,
+// applying the per-tuple BoundedRepetition bookkeeping.
+func (r *Router) applyChoice(t *tuple.Tuple, c policy.Candidate) Decision {
 	if c.Kind == policy.DropTuple {
 		return Decision{Drop: true}
 	}

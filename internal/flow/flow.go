@@ -7,6 +7,12 @@
 // index latency, scan pacing). Both engines drive the same modules: the
 // discrete-event simulator turns emissions into scheduled events; the
 // concurrent engine turns them into channel sends after timed waits.
+//
+// Dataflow moves batch-at-a-time: engines group tuples into Batch values and
+// drive modules through the BatchModule contract, amortizing dispatch,
+// locking, and synchronization over the batch. A batch of one reproduces
+// tuple-at-a-time behavior exactly, and the Lift shim adapts any per-tuple
+// Module, so the two granularities are interchangeable.
 package flow
 
 import (
@@ -49,4 +55,87 @@ type Module interface {
 	Process(t *tuple.Tuple, now clock.Time) (out []Emission, cost clock.Duration)
 	// Parallel returns the module's internal service concurrency.
 	Parallel() int
+}
+
+// Batch is an ordered group of tuples moving through the dataflow as one
+// unit. Engines that amortize per-tuple dispatch (the concurrent engine's
+// channel sends, a SteM's lock acquisition, a selection's emission
+// allocation) exchange batches instead of single tuples; a batch of one is
+// semantically identical to per-tuple dataflow.
+type Batch struct {
+	Tuples []*tuple.Tuple
+}
+
+// NewBatch returns an empty batch with room for capacity tuples.
+func NewBatch(capacity int) *Batch {
+	return &Batch{Tuples: make([]*tuple.Tuple, 0, capacity)}
+}
+
+// BatchOf wraps the given tuples as a batch (sharing the slice).
+func BatchOf(ts ...*tuple.Tuple) *Batch { return &Batch{Tuples: ts} }
+
+// Add appends a tuple to the batch.
+func (b *Batch) Add(t *tuple.Tuple) { b.Tuples = append(b.Tuples, t) }
+
+// Len returns the number of tuples in the batch.
+func (b *Batch) Len() int { return len(b.Tuples) }
+
+// Reset empties the batch, retaining capacity for reuse.
+func (b *Batch) Reset() { b.Tuples = b.Tuples[:0] }
+
+// Contains reports whether t is one of the batch's tuples (by identity).
+// Engines use it to tell a module input bouncing back from a freshly
+// generated emission.
+func (b *Batch) Contains(t *tuple.Tuple) bool {
+	for _, x := range b.Tuples {
+		if x == t {
+			return true
+		}
+	}
+	return false
+}
+
+// BatchModule is a module that services whole batches in one call. The
+// emissions of all inputs are returned flattened, in input order per tuple,
+// and cost is the total sequential service time of the batch — a batch of
+// one must behave exactly like Module.Process.
+//
+// Modules implement BatchModule natively when they can amortize work across
+// tuples (a SteM takes its lock once and reuses probe candidate lists, a
+// selection module vectorizes predicate evaluation); any other Module is
+// lifted by the Lift shim, so third-party per-tuple modules keep working
+// unchanged.
+type BatchModule interface {
+	Module
+	// ProcessBatch handles every tuple of b starting at virtual time now.
+	ProcessBatch(b *Batch, now clock.Time) (out []Emission, cost clock.Duration)
+}
+
+// Lift returns m as a BatchModule: native implementations are returned
+// as-is, per-tuple modules are wrapped in a shim that processes batch
+// members sequentially.
+func Lift(m Module) BatchModule {
+	if bm, ok := m.(BatchModule); ok {
+		return bm
+	}
+	return lifted{m}
+}
+
+// lifted adapts a per-tuple Module to the BatchModule contract.
+type lifted struct {
+	Module
+}
+
+// ProcessBatch implements BatchModule by sequential per-tuple processing:
+// each tuple is served at the virtual time the previous one completed.
+func (l lifted) ProcessBatch(b *Batch, now clock.Time) ([]Emission, clock.Duration) {
+	var out []Emission
+	var total clock.Duration
+	for _, t := range b.Tuples {
+		ems, cost := l.Module.Process(t, now)
+		out = append(out, ems...)
+		total += cost
+		now = now.Add(cost)
+	}
+	return out, total
 }

@@ -10,6 +10,8 @@ package stem
 
 import (
 	"sort"
+	"strconv"
+	"strings"
 
 	"repro/internal/pred"
 	"repro/internal/tuple"
@@ -40,6 +42,25 @@ type Lookup struct {
 	EquiCols []int
 	EquiVals []value.V
 	Ranges   []RangeCond
+}
+
+// cacheKey encodes a pure-equality lookup as a stable string, so batched
+// probes sharing a key can reuse one candidate list; ok is false for lookups
+// with range conditions, which are not worth keying.
+func (lk Lookup) cacheKey() (string, bool) {
+	if len(lk.Ranges) > 0 {
+		return "", false
+	}
+	var b strings.Builder
+	for i, c := range lk.EquiCols {
+		if i > 0 {
+			b.WriteByte(';')
+		}
+		b.WriteString(strconv.Itoa(c))
+		b.WriteByte('=')
+		b.WriteString(lk.EquiVals[i].Key())
+	}
+	return b.String(), true
 }
 
 // Dict is the storage structure inside a SteM. Implementations need not be

@@ -187,19 +187,76 @@ func (s *SteM) Size() int {
 func (s *SteM) Process(t *tuple.Tuple, now clock.Time) ([]flow.Emission, clock.Duration) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.processLocked(t, nil)
+}
+
+// ProcessBatch implements flow.BatchModule: the dictionary lock is taken
+// once for the whole batch, and probes sharing a lookup key reuse one
+// candidate list (builds within the batch invalidate it, since they change
+// the dictionary). A batch of one behaves exactly like Process.
+func (s *SteM) ProcessBatch(b *flow.Batch, now clock.Time) ([]flow.Emission, clock.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []flow.Emission
+	var total clock.Duration
+	var pc probeCache
+	for _, t := range b.Tuples {
+		ems, cost := s.processLocked(t, &pc)
+		out = append(out, ems...)
+		total += cost
+	}
+	return out, total
+}
+
+// processLocked serves one tuple with s.mu held. pc, when non-nil, caches
+// probe candidate lists across the tuples of one batch.
+func (s *SteM) processLocked(t *tuple.Tuple, pc *probeCache) ([]flow.Emission, clock.Duration) {
 	switch {
 	case t.EOT != nil && t.EOT.Table == s.cfg.Table:
 		return s.buildEOT(t), s.cfg.BuildCost
 	case t.IsSingleton() && t.SingleTable() == s.cfg.Table && !t.Built.Has(s.cfg.Table):
+		if pc != nil {
+			pc.invalidate()
+		}
 		return s.build(t), s.cfg.BuildCost
 	default:
-		out := s.probe(t)
+		out := s.probe(t, pc)
 		cost := s.cfg.ProbeCost + clock.Duration(len(out))*s.cfg.PerMatchCost
 		if s.govID >= 0 {
 			cost += s.cfg.Gov.probePenalty(s.govID)
 		}
 		return out, cost
 	}
+}
+
+// probeCache memoizes dictionary candidate lists by lookup key within one
+// batch, so probes grouped on the same key hash once. Builds and evictions
+// invalidate it.
+type probeCache struct {
+	m map[string][]Entry
+}
+
+func (pc *probeCache) invalidate() { pc.m = nil }
+
+// candidates returns the dictionary candidates for lk, consulting and
+// filling the cache for keyable (pure-equality) lookups.
+func (pc *probeCache) candidates(d Dict, lk Lookup) []Entry {
+	if pc == nil {
+		return d.Candidates(lk)
+	}
+	key, ok := lk.cacheKey()
+	if !ok {
+		return d.Candidates(lk)
+	}
+	if es, hit := pc.m[key]; hit {
+		return es
+	}
+	es := d.Candidates(lk)
+	if pc.m == nil {
+		pc.m = make(map[string][]Entry)
+	}
+	pc.m[key] = es
+	return es
 }
 
 // build stores a singleton and bounces it back (SteM BounceBack: "a SteM
@@ -295,7 +352,7 @@ func (s *SteM) buildEOT(t *tuple.Tuple) []flow.Emission {
 // probe finds matches for t among stored rows, concatenates them (verifying
 // every newly applicable predicate and enforcing the TimeStamp rule), and
 // decides whether to bounce t back per the SteM BounceBack constraint.
-func (s *SteM) probe(t *tuple.Tuple) []flow.Emission {
+func (s *SteM) probe(t *tuple.Tuple, pc *probeCache) []flow.Emission {
 	s.stats.Probes++
 	preds := s.cfg.Q.JoinPredsConnecting(t.Span, s.cfg.Table)
 	lk := lookupFor(t, s.cfg.Table, preds)
@@ -303,7 +360,7 @@ func (s *SteM) probe(t *tuple.Tuple) []flow.Emission {
 	lastMatch := t.LastMatchTS
 
 	var out []flow.Emission
-	for _, e := range s.dict.Candidates(lk) {
+	for _, e := range pc.candidates(s.dict, lk) {
 		// TimeStamp constraint: result returned iff ts(probe) > ts(match);
 		// LastMatchTimeStamp guards repeated probes (§3.5).
 		if e.TS >= probeTS || e.TS <= lastMatch {

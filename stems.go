@@ -99,6 +99,12 @@ type Options struct {
 	// TimeCompression scales the Concurrent engine's clock: 0.001 (default)
 	// runs one virtual second per wall millisecond.
 	TimeCompression float64
+	// BatchSize caps how many tuples the Concurrent engine's eddy coalesces
+	// into one module batch, amortizing channel sends, module locking, and
+	// policy decisions. 0 defaults to 64; 1 restores tuple-at-a-time
+	// dataflow. The simulation engine always runs batches of one (it is the
+	// deterministic reference) and ignores this option.
+	BatchSize int
 	// BounceForIndexChoice makes SteMs on tables with index AMs bounce
 	// incomplete probes so the eddy can hybridize index and hash joins
 	// (Section 4.3).
@@ -491,6 +497,7 @@ func (q *Query) Run(opts Options) (*Result, error) {
 			comp = 0.001
 		}
 		eng := eddy.NewConcurrent(r, clock.NewReal(comp))
+		eng.BatchSize = opts.BatchSize
 		if opts.OnResult != nil {
 			eng.OnOutput = func(t *tuple.Tuple, at clock.Time) {
 				opts.OnResult(Row{At: time.Duration(at), q: iq, t: t})

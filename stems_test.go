@@ -63,6 +63,34 @@ func TestEnginesAgree(t *testing.T) {
 	}
 }
 
+func TestConcurrentBatchSizesAgree(t *testing.T) {
+	want := keysOf(mustRun(t, smallJoin(), Options{Engine: Sim}).Rows)
+	for _, bs := range []int{1, 2, 64} {
+		res, err := smallJoin().Run(Options{Engine: Concurrent, TimeCompression: 0.0001, BatchSize: bs})
+		if err != nil {
+			t.Fatalf("BatchSize %d: %v", bs, err)
+		}
+		got := keysOf(res.Rows)
+		if len(got) != len(want) {
+			t.Fatalf("BatchSize %d: %d rows, want %d", bs, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("BatchSize %d: row %d = %q, want %q", bs, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func mustRun(t *testing.T, q *Query, opts Options) *Result {
+	t.Helper()
+	res, err := q.Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
 func TestAllPoliciesAgree(t *testing.T) {
 	var base []string
 	for _, p := range []Policy{Fixed, Lottery, BenefitCost} {
