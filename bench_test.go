@@ -154,6 +154,7 @@ func benchQ(rows int) *query.Q {
 
 func benchDict(b *testing.B, mk func(q *query.Q, table int) stem.Dict) {
 	b.Helper()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		q := benchQ(512)
 		r, err := eddy.NewRouter(q, eddy.Options{DictFor: func(t int) stem.Dict { return mk(q, t) }})
@@ -390,6 +391,7 @@ func BenchmarkSteMBuildProbe(b *testing.B) {
 		m := tuple.NewSingleton(2, 1, tuple.Row{value.NewInt(int64(i % 256)), value.NewInt(int64(i))})
 		s.Process(m, 0)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		r := tuple.NewSingleton(2, 0, tuple.Row{value.NewInt(int64(i)), value.NewInt(int64(i % 256))})

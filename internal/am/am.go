@@ -55,9 +55,12 @@ type AM struct {
 	index *source.Index // nil for scans
 	name  string
 
-	mu      sync.Mutex
-	stats   Stats
-	fetched map[string]bool // index keys already looked up (or in flight)
+	mu    sync.Mutex
+	stats Stats
+	// fetched holds the index keys already looked up (or in flight), keyed
+	// by row hash with equality verification, so probe dedup allocates no
+	// key material.
+	fetched map[uint64][]tuple.Row
 }
 
 // New builds an access module, constructing the source-side index for index
@@ -76,7 +79,7 @@ func New(cfg Config) (*AM, error) {
 			return nil, err
 		}
 		a.index = ix
-		a.fetched = make(map[string]bool)
+		a.fetched = make(map[uint64][]tuple.Row)
 	}
 	return a, nil
 }
@@ -190,27 +193,38 @@ func (a *AM) probe(t *tuple.Tuple) ([]flow.Emission, clock.Duration) {
 	// duplicate remote lookup would only produce set-semantics duplicates,
 	// which is why Figure 7(ii) shows near-identical probe counts for the
 	// SteM and index-join architectures.
-	key := vals.Key()
+	key := vals.Hash64()
 	a.mu.Lock()
-	if a.fetched[key] {
+	dup := false
+	for _, r := range a.fetched[key] {
+		if r.Equal(vals) {
+			dup = true
+			break
+		}
+	}
+	if dup {
 		a.stats.DedupProbes++
 		a.mu.Unlock()
 		t.AMProbed = true
 		return []flow.Emission{flow.Emit(t)}, 0
 	}
-	a.fetched[key] = true
+	a.fetched[key] = append(a.fetched[key], vals)
 	a.stats.Probes++
 	a.mu.Unlock()
 
 	n := len(q.Tables)
 	var out []flow.Emission
 	rowsOut := uint64(0)
+	// scratch recycles the concatenation used only to filter matches, so
+	// non-qualifying rows cost no tuple allocation.
+	var scratch *tuple.Tuple
 	for _, r := range a.index.Lookup(vals) {
-		s := tuple.NewSingleton(n, a.decl.Table, r)
-		cat := t.Concat(s)
+		cat := t.ConcatRowInto(scratch, a.decl.Table, r, tuple.InfTS)
+		scratch = cat
 		if !a.matchOK(cat) {
 			continue
 		}
+		s := tuple.NewSingleton(n, a.decl.Table, r)
 		if a.cfg.ApplySelections {
 			a.markSelections(s)
 		}

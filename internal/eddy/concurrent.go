@@ -31,6 +31,30 @@ import (
 // module batch when Concurrent.BatchSize is left zero.
 const DefaultBatchSize = 64
 
+// batchPool recycles flow.Batch shells (and their tuple slices) between the
+// eddy and the module workers. A batch is returned to the pool by whichever
+// side consumes it: workers recycle inbox batches after processing, the eddy
+// loop recycles event batches after draining them into staging. Batches held
+// in a closed inbox at shutdown are simply dropped.
+var batchPool = sync.Pool{New: func() any { return &flow.Batch{} }}
+
+func getBatch() *flow.Batch {
+	b := batchPool.Get().(*flow.Batch)
+	b.Reset()
+	return b
+}
+
+func getBatchOf(t *tuple.Tuple) *flow.Batch {
+	b := getBatch()
+	b.Add(t)
+	return b
+}
+
+func putBatch(b *flow.Batch) {
+	b.Reset()
+	batchPool.Put(b)
+}
+
 // inbox is an unbounded FIFO of batches; unboundedness removes the
 // eddy↔module send cycle that could otherwise deadlock bounded channels.
 type inbox struct {
@@ -196,7 +220,7 @@ func (c *Concurrent) Run() ([]Output, error) {
 	if len(seeds) > 0 {
 		go func() {
 			for _, s := range seeds {
-				c.events <- eddyEvent{b: flow.BatchOf(s)}
+				c.events <- eddyEvent{b: getBatchOf(s)}
 			}
 		}()
 
@@ -259,6 +283,7 @@ func (c *Concurrent) Run() ([]Output, error) {
 						c.routeStaged()
 					}
 				}
+				putBatch(ev.b)
 			}
 			if c.inflight.Load() == 0 {
 				break loop
@@ -321,7 +346,7 @@ func (c *Concurrent) routeStaged() {
 			mod, delay, dt := d.Module, d.Delay, t
 			go func() {
 				<-c.clk.After(delay)
-				c.inboxes[mod].push(flow.BatchOf(dt))
+				c.inboxes[mod].push(getBatchOf(dt))
 			}()
 		default:
 			c.enqueue(d.Module, t)
@@ -336,12 +361,12 @@ func (c *Concurrent) routeStaged() {
 // worker pools keep overlapping service.
 func (c *Concurrent) enqueue(mod int, t *tuple.Tuple) {
 	if c.batchCap[mod] <= 1 {
-		c.inboxes[mod].push(flow.BatchOf(t))
+		c.inboxes[mod].push(getBatchOf(t))
 		return
 	}
 	p := c.pend[mod][t.Span]
 	if p == nil {
-		p = flow.NewBatch(c.batchCap[mod])
+		p = getBatch()
 		c.pend[mod][t.Span] = p
 	}
 	p.Add(t)
@@ -394,6 +419,7 @@ func (c *Concurrent) worker(mod int, wg *sync.WaitGroup) {
 			Outputs: outputs, Emitted: len(ems), Cost: cost, Now: c.clk.Now(),
 			Visits: b.Len(),
 		}
+		putBatch(b)
 		var ready *flow.Batch
 		for _, em := range ems {
 			switch {
@@ -406,10 +432,10 @@ func (c *Concurrent) worker(mod int, wg *sync.WaitGroup) {
 			case c.BatchSize == 1:
 				// Tuple-at-a-time mode: every emission is its own event,
 				// exactly as the pre-batching engine sent them.
-				c.events <- eddyEvent{b: flow.BatchOf(em.T)}
+				c.events <- eddyEvent{b: getBatchOf(em.T)}
 			default:
 				if ready == nil {
-					ready = flow.NewBatch(len(ems))
+					ready = getBatch()
 				}
 				ready.Add(em.T)
 			}

@@ -379,13 +379,20 @@ func (r *Router) choose(t *tuple.Tuple, n int, cands []policy.Candidate, env pol
 // routeSig is the partition key of RouteBatch: two tuples with equal
 // signatures see identical constraint-legal moves and identical policy
 // inputs (up to the exact LastProbeMatches count, which policies read only
-// as a zero/nonzero signal).
+// as a zero/nonzero signal). The visit-count vector is packed exactly into
+// two uint64 words in the common case (≤16 modules, counts ≤255), so
+// partitioning a batch allocates no key material; larger vectors fall back
+// to a string encoding. Both encodings are bijective — this is a partition
+// key, not a hash, and a collision would illegally share one policy
+// decision across differently-constrained tuples.
 type routeSig struct {
 	span       tuple.TableSet
 	done       tuple.PredSet
 	built      tuple.TableSet
 	probeTable int
 	flags      uint8
+	visitsLo   uint64
+	visitsHi   uint64
 	visits     string
 }
 
@@ -408,14 +415,15 @@ func sigOf(t *tuple.Tuple) routeSig {
 	if t.LastProbeMatches > 0 {
 		sig.flags |= sigHasMatches
 	}
-	sig.visits = visitsKey(t.Visits)
+	sig.visitsLo, sig.visitsHi, sig.visits = visitsKey(t.Visits)
 	return sig
 }
 
-// visitsKey encodes a visit-count vector compactly; an all-zero vector
-// normalizes to the unsized form so fresh and lazily-sized tuples group
-// together.
-func visitsKey(v []uint16) string {
+// visitsKey encodes a visit-count vector compactly: one byte per module
+// packed into two uint64 words when it fits, a string otherwise. An
+// all-zero vector normalizes to the zero encoding so fresh and lazily-sized
+// tuples group together.
+func visitsKey(v []uint16) (lo, hi uint64, s string) {
 	allZero := true
 	for _, x := range v {
 		if x != 0 {
@@ -424,14 +432,33 @@ func visitsKey(v []uint16) string {
 		}
 	}
 	if allZero {
-		return ""
+		return 0, 0, ""
+	}
+	if len(v) <= 16 {
+		packable := true
+		for _, x := range v {
+			if x > 0xff {
+				packable = false
+				break
+			}
+		}
+		if packable {
+			for i, x := range v {
+				if i < 8 {
+					lo |= uint64(x) << (8 * i)
+				} else {
+					hi |= uint64(x) << (8 * (i - 8))
+				}
+			}
+			return lo, hi, ""
+		}
 	}
 	b := make([]byte, 2*len(v))
 	for i, x := range v {
 		b[2*i] = byte(x)
 		b[2*i+1] = byte(x >> 8)
 	}
-	return string(b)
+	return 0, 0, string(b)
 }
 
 // routeFast resolves the moves Table 2 forces outright, before any policy

@@ -62,6 +62,11 @@ type Module interface {
 // channel sends, a SteM's lock acquisition, a selection's emission
 // allocation) exchange batches instead of single tuples; a batch of one is
 // semantically identical to per-tuple dataflow.
+//
+// Batch shells are recyclable: an engine may pool and reuse a Batch once its
+// consumer has drained it, so modules must not retain a Batch (or its Tuples
+// slice) past ProcessBatch — only the tuples themselves have dataflow
+// lifetime.
 type Batch struct {
 	Tuples []*tuple.Tuple
 }

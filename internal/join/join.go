@@ -98,11 +98,20 @@ type IndexJoinConfig struct {
 // behind it for the full remote latency — the head-of-line blocking that
 // Section 4.2 shows SteMs eliminate.
 type IndexJoin struct {
-	cfg    IndexJoinConfig
-	index  *source.Index
-	cache  map[string][]tuple.Row
+	cfg   IndexJoinConfig
+	index *source.Index
+	// cache memoizes remote lookups, keyed by bind-value hash and verified
+	// against the stored bind values: a colliding key must trigger its own
+	// remote lookup, not reuse another key's rows.
+	cache  map[uint64][]cacheEnt
 	name   string
 	probes uint64
+}
+
+// cacheEnt is one verified lookup-cache entry.
+type cacheEnt struct {
+	vals tuple.Row
+	rows []tuple.Row
 }
 
 // NewIndexJoin builds the operator, constructing the remote-side index.
@@ -114,7 +123,7 @@ func NewIndexJoin(cfg IndexJoinConfig) (*IndexJoin, error) {
 	return &IndexJoin{
 		cfg:   cfg,
 		index: ix,
-		cache: make(map[string][]tuple.Row),
+		cache: make(map[uint64][]cacheEnt),
 		name:  fmt.Sprintf("IndexJoin(%s)", cfg.Q.Tables[cfg.Table].Name),
 	}, nil
 }
@@ -141,12 +150,19 @@ func (j *IndexJoin) Process(t *tuple.Tuple, now clock.Time) ([]flow.Emission, cl
 	if !ok {
 		panic(fmt.Sprintf("join: unbindable probe %s at %s", t, j.name))
 	}
-	key := vals.Key()
+	key := vals.Hash64()
 	cost := j.cfg.CacheCost
-	rows, hit := j.cache[key]
+	var rows []tuple.Row
+	hit := false
+	for _, c := range j.cache[key] {
+		if c.vals.Equal(vals) {
+			rows, hit = c.rows, true
+			break
+		}
+	}
 	if !hit {
 		rows = j.index.Lookup(vals)
-		j.cache[key] = rows
+		j.cache[key] = append(j.cache[key], cacheEnt{vals: vals, rows: rows})
 		j.probes++
 		cost += j.cfg.Latency // synchronous: blocks the module's one queue
 	}
@@ -186,10 +202,13 @@ type SHJConfig struct {
 // into its side's hash table and immediately probed into the other side's.
 // Build and probe are fused in one module visit, so no timestamping is
 // needed — but nothing inside is visible to the eddy.
+// The hash tables are keyed by the join value's hash; verifyAll re-verifies
+// the join predicate on every concatenation, so colliding values cannot
+// produce wrong results, only extra verification work.
 type SHJ struct {
 	cfg   SHJConfig
-	left  map[string][]*tuple.Tuple
-	right map[string][]*tuple.Tuple
+	left  map[uint64][]*tuple.Tuple
+	right map[uint64][]*tuple.Tuple
 	name  string
 }
 
@@ -197,8 +216,8 @@ type SHJ struct {
 func NewSHJ(cfg SHJConfig) *SHJ {
 	return &SHJ{
 		cfg:   cfg,
-		left:  make(map[string][]*tuple.Tuple),
-		right: make(map[string][]*tuple.Tuple),
+		left:  make(map[uint64][]*tuple.Tuple),
+		right: make(map[uint64][]*tuple.Tuple),
 		name:  fmt.Sprintf("SHJ(%s⋈%s)", cfg.Left, cfg.Right),
 	}
 }
@@ -231,7 +250,7 @@ func (j *SHJ) Size() int {
 
 // Process implements flow.Module: build into own side, probe the other.
 func (j *SHJ) Process(t *tuple.Tuple, now clock.Time) ([]flow.Emission, clock.Duration) {
-	var own, other map[string][]*tuple.Tuple
+	var own, other map[uint64][]*tuple.Tuple
 	var ownRef pred.ColRef
 	switch t.Span {
 	case j.cfg.Left:
@@ -241,7 +260,7 @@ func (j *SHJ) Process(t *tuple.Tuple, now clock.Time) ([]flow.Emission, clock.Du
 	default:
 		panic(fmt.Sprintf("join: %s got tuple spanning %s", j.name, t.Span))
 	}
-	key := t.Value(ownRef.Table, ownRef.Col).Key()
+	key := t.Value(ownRef.Table, ownRef.Col).Hash64()
 	own[key] = append(own[key], t)
 
 	var out []flow.Emission

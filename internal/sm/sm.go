@@ -64,20 +64,22 @@ func (s *SM) Process(t *tuple.Tuple, now clock.Time) ([]flow.Emission, clock.Dur
 }
 
 // ProcessBatch implements flow.BatchModule: the predicate is evaluated over
-// the whole batch into one preallocated emission slice, and the counters are
+// the whole batch into one emission slice — allocated on the first passing
+// tuple, so a fully-filtered batch allocates nothing — and the counters are
 // updated with two atomic adds instead of up to two per tuple.
 func (s *SM) ProcessBatch(b *flow.Batch, now clock.Time) ([]flow.Emission, clock.Duration) {
-	out := make([]flow.Emission, 0, b.Len())
-	var pass uint64
+	var out []flow.Emission
 	for _, t := range b.Tuples {
 		if !s.p.Eval(t) {
 			continue // fails: removed from the dataflow
 		}
 		t.Done = t.Done.With(s.p.ID)
+		if out == nil {
+			out = make([]flow.Emission, 0, b.Len())
+		}
 		out = append(out, flow.Emit(t))
-		pass++
 	}
 	s.in.Add(uint64(b.Len()))
-	s.pass.Add(pass)
+	s.pass.Add(uint64(len(out)))
 	return out, clock.Duration(b.Len()) * s.cost
 }

@@ -11,7 +11,6 @@ package source
 
 import (
 	"fmt"
-	"strings"
 
 	"repro/internal/clock"
 	"repro/internal/schema"
@@ -98,10 +97,12 @@ type IndexSpec struct {
 }
 
 // Index is a prebuilt lookup structure over a table's rows on a key-column
-// set, supporting equality lookups.
+// set, supporting equality lookups. Buckets are keyed by the hash of the key
+// columns; Lookup verifies candidates against the actual values, so hash
+// collisions only cost a skipped row, never a wrong result.
 type Index struct {
 	Spec IndexSpec
-	m    map[string][]int
+	m    map[uint64][]int
 	rows []tuple.Row
 }
 
@@ -113,9 +114,9 @@ func BuildIndex(t *Table, spec IndexSpec) (*Index, error) {
 			return nil, fmt.Errorf("source: index on %s: bad key column %d", t.Schema.Name, c)
 		}
 	}
-	ix := &Index{Spec: spec, m: make(map[string][]int), rows: t.Rows}
+	ix := &Index{Spec: spec, m: make(map[uint64][]int), rows: t.Rows}
 	for i, r := range t.Rows {
-		k := keyOf(r, spec.KeyCols)
+		k := r.HashCols(spec.KeyCols)
 		ix.m[k] = append(ix.m[k], i)
 	}
 	return ix, nil
@@ -127,28 +128,20 @@ func (ix *Index) Lookup(vals []value.V) []tuple.Row {
 	if len(vals) != len(ix.Spec.KeyCols) {
 		panic(fmt.Sprintf("source: Lookup with %d values for %d key cols", len(vals), len(ix.Spec.KeyCols)))
 	}
-	var b strings.Builder
-	for i, v := range vals {
-		if i > 0 {
-			b.WriteByte('|')
+	idxs := ix.m[tuple.Row(vals).Hash64()]
+	out := make([]tuple.Row, 0, len(idxs))
+	for _, j := range idxs {
+		r := ix.rows[j]
+		match := true
+		for i, c := range ix.Spec.KeyCols {
+			if !r[c].Equal(vals[i]) {
+				match = false
+				break
+			}
 		}
-		b.WriteString(v.Key())
-	}
-	idxs := ix.m[b.String()]
-	out := make([]tuple.Row, len(idxs))
-	for i, j := range idxs {
-		out[i] = ix.rows[j]
+		if match {
+			out = append(out, r)
+		}
 	}
 	return out
-}
-
-func keyOf(r tuple.Row, cols []int) string {
-	var b strings.Builder
-	for i, c := range cols {
-		if i > 0 {
-			b.WriteByte('|')
-		}
-		b.WriteString(r[c].Key())
-	}
-	return b.String()
 }

@@ -10,8 +10,6 @@ package stem
 
 import (
 	"sort"
-	"strconv"
-	"strings"
 
 	"repro/internal/pred"
 	"repro/internal/tuple"
@@ -44,23 +42,34 @@ type Lookup struct {
 	Ranges   []RangeCond
 }
 
-// cacheKey encodes a pure-equality lookup as a stable string, so batched
+// cacheKey hashes a pure-equality lookup into a 64-bit key, so batched
 // probes sharing a key can reuse one candidate list; ok is false for lookups
-// with range conditions, which are not worth keying.
-func (lk Lookup) cacheKey() (string, bool) {
+// with range conditions, which are not worth keying. Hash collisions are
+// resolved by the cache, which verifies the full column/value lists.
+func (lk Lookup) cacheKey() (uint64, bool) {
 	if len(lk.Ranges) > 0 {
-		return "", false
+		return 0, false
 	}
-	var b strings.Builder
+	h := value.HashSeed
 	for i, c := range lk.EquiCols {
-		if i > 0 {
-			b.WriteByte(';')
-		}
-		b.WriteString(strconv.Itoa(c))
-		b.WriteByte('=')
-		b.WriteString(lk.EquiVals[i].Key())
+		h = value.MixUint64(h, uint64(c))
+		h = lk.EquiVals[i].HashInto(h)
 	}
-	return b.String(), true
+	return h, true
+}
+
+// equiEqual reports whether the lookup's equality constraints are exactly
+// (cols, vals): the verification half of the cache's hash-with-verify keys.
+func (lk Lookup) equiEqual(cols []int, vals []value.V) bool {
+	if len(lk.EquiCols) != len(cols) {
+		return false
+	}
+	for i, c := range lk.EquiCols {
+		if c != cols[i] || !lk.EquiVals[i].Equal(vals[i]) {
+			return false
+		}
+	}
+	return true
 }
 
 // Dict is the storage structure inside a SteM. Implementations need not be
@@ -90,13 +99,30 @@ type Dict interface {
 // SteM on a table T has one main-memory index on each column of T involved
 // in a join predicate; these are all secondary indexes").
 
-// HashDict stores rows with hash indexes on the given columns.
+// HashDict stores rows with hash indexes on the given columns. Every map is
+// keyed by a 64-bit value/row hash rather than an encoded string, so builds
+// and probes allocate no key material; hash collisions are benign because
+// every bucket consultation verifies candidates with Equal (hash-with-verify:
+// a bucket may hold positions for distinct values that collide, and the scan
+// filters them out).
 type HashDict struct {
 	cols    []int
-	indexes []map[string][]int // parallel to cols: value key -> entry positions
+	indexes []map[uint64][]int // parallel to cols: value hash -> entry positions
 	entries []Entry
-	rowSet  map[string]int // row key -> position, for dedup and eviction
-	evicted map[int]bool
+	evicted []bool           // parallel to entries
+	rowSet  map[uint64][]int // whole-row hash -> positions, for dedup
+	live    int
+	// evictHead is the amortized-O(1) eviction cursor: entries before it are
+	// all evicted, so Evict resumes scanning where it last stopped instead of
+	// rescanning from the start.
+	evictHead int
+	// maxTS caches the largest live timestamp. Inserts maintain it in O(1);
+	// evicting the maximal entry (only possible under out-of-timestamp-order
+	// inserts — engine timestamps are monotonic) triggers a rescan.
+	maxTS tuple.Timestamp
+	// mask is ANDed onto every hash; all ones normally, narrowed by tests to
+	// force bucket collisions and exercise the verify paths.
+	mask uint64
 }
 
 // NewHashDict returns a hash dictionary with secondary indexes on cols (the
@@ -104,12 +130,12 @@ type HashDict struct {
 func NewHashDict(cols []int) *HashDict {
 	d := &HashDict{
 		cols:    append([]int(nil), cols...),
-		indexes: make([]map[string][]int, len(cols)),
-		rowSet:  make(map[string]int),
-		evicted: make(map[int]bool),
+		indexes: make([]map[uint64][]int, len(cols)),
+		rowSet:  make(map[uint64][]int),
+		mask:    ^uint64(0),
 	}
 	for i := range d.indexes {
-		d.indexes[i] = make(map[string][]int)
+		d.indexes[i] = make(map[uint64][]int)
 	}
 	return d
 }
@@ -118,56 +144,63 @@ func NewHashDict(cols []int) *HashDict {
 func (d *HashDict) Insert(row tuple.Row, ts tuple.Timestamp) {
 	pos := len(d.entries)
 	d.entries = append(d.entries, Entry{Row: row, TS: ts})
-	d.rowSet[row.Key()] = pos
+	d.evicted = append(d.evicted, false)
+	d.live++
+	h := row.Hash64() & d.mask
+	d.rowSet[h] = append(d.rowSet[h], pos)
 	for i, c := range d.cols {
-		k := row[c].Key()
+		k := row[c].Hash64() & d.mask
 		d.indexes[i][k] = append(d.indexes[i][k], pos)
+	}
+	if ts > d.maxTS {
+		d.maxTS = ts
 	}
 }
 
 // Contains implements Dict.
 func (d *HashDict) Contains(row tuple.Row) bool {
-	pos, ok := d.rowSet[row.Key()]
-	return ok && !d.evicted[pos]
+	for _, p := range d.rowSet[row.Hash64()&d.mask] {
+		if !d.evicted[p] && d.entries[p].Row.Equal(row) {
+			return true
+		}
+	}
+	return false
 }
 
 // Candidates implements Dict. If any lookup column has a hash index, the
-// narrowest single-column index is consulted; otherwise all live entries are
-// returned for the caller to filter.
+// index whose bucket is narrowest is consulted (bucket sizes may overcount
+// under collisions; the heuristic only picks which index to scan); otherwise
+// all live entries are returned for the caller to filter.
 func (d *HashDict) Candidates(lk Lookup) []Entry {
-	best := -1
-	bestLen := -1
+	bestDi, bestLi, bestLen := -1, -1, -1
+	var bestHash uint64
 	for li, c := range lk.EquiCols {
 		for di, dc := range d.cols {
 			if dc != c {
 				continue
 			}
-			l := len(d.indexes[di][lk.EquiVals[li].Key()])
-			if bestLen < 0 || l < bestLen {
-				best, bestLen = li, l
-				_ = di
+			h := lk.EquiVals[li].Hash64() & d.mask
+			if l := len(d.indexes[di][h]); bestLen < 0 || l < bestLen {
+				bestDi, bestLi, bestLen, bestHash = di, li, l, h
 			}
 		}
 	}
-	if best >= 0 {
-		for di, dc := range d.cols {
-			if dc == lk.EquiCols[best] {
-				poss := d.indexes[di][lk.EquiVals[best].Key()]
-				out := make([]Entry, 0, len(poss))
-				for _, p := range poss {
-					if !d.evicted[p] {
-						out = append(out, d.entries[p])
-					}
-				}
-				return out
-			}
+	if bestDi < 0 {
+		return d.all()
+	}
+	col, v := d.cols[bestDi], lk.EquiVals[bestLi]
+	poss := d.indexes[bestDi][bestHash]
+	out := make([]Entry, 0, len(poss))
+	for _, p := range poss {
+		if !d.evicted[p] && d.entries[p].Row[col].Equal(v) {
+			out = append(out, d.entries[p])
 		}
 	}
-	return d.all()
+	return out
 }
 
 func (d *HashDict) all() []Entry {
-	out := make([]Entry, 0, len(d.entries)-len(d.evicted))
+	out := make([]Entry, 0, d.live)
 	for p, e := range d.entries {
 		if !d.evicted[p] {
 			out = append(out, e)
@@ -176,78 +209,144 @@ func (d *HashDict) all() []Entry {
 	return out
 }
 
-// Evict implements Dict: removes the oldest live entry.
+// Evict implements Dict: removes the oldest live entry, in amortized O(1)
+// via the evictHead cursor.
 func (d *HashDict) Evict() (Entry, bool) {
-	for p, e := range d.entries {
-		if !d.evicted[p] {
-			d.evicted[p] = true
-			delete(d.rowSet, e.Row.Key())
-			return e, true
+	for ; d.evictHead < len(d.entries); d.evictHead++ {
+		p := d.evictHead
+		if d.evicted[p] {
+			continue
 		}
+		e := d.entries[p]
+		d.evicted[p] = true
+		d.entries[p].Row = nil // release the row for GC; readers skip evicted slots
+		d.live--
+		h := e.Row.Hash64() & d.mask
+		d.rowSet[h] = removePos(d.rowSet[h], p)
+		if len(d.rowSet[h]) == 0 {
+			delete(d.rowSet, h)
+		}
+		if e.TS == d.maxTS {
+			d.rescanMaxTS()
+		}
+		d.evictHead++
+		return e, true
 	}
 	return Entry{}, false
 }
 
-// Len implements Dict.
-func (d *HashDict) Len() int { return len(d.entries) - len(d.evicted) }
-
-// MaxTS implements Dict.
-func (d *HashDict) MaxTS() tuple.Timestamp {
-	var max tuple.Timestamp
+func (d *HashDict) rescanMaxTS() {
+	d.maxTS = 0
 	for p, e := range d.entries {
-		if !d.evicted[p] && e.TS > max {
-			max = e.TS
+		if !d.evicted[p] && e.TS > d.maxTS {
+			d.maxTS = e.TS
 		}
 	}
-	return max
+}
+
+// removePos deletes position p from a bucket, preserving order.
+func removePos(poss []int, p int) []int {
+	for i, x := range poss {
+		if x == p {
+			return append(poss[:i], poss[i+1:]...)
+		}
+	}
+	return poss
+}
+
+// Len implements Dict.
+func (d *HashDict) Len() int { return d.live }
+
+// MaxTS implements Dict, in O(1).
+func (d *HashDict) MaxTS() tuple.Timestamp {
+	if d.live == 0 {
+		return 0
+	}
+	return d.maxTS
 }
 
 // ---------------------------------------------------------------------------
 // ListDict: an unindexed append-only list. Cheap to build, linear to probe.
 
-// ListDict stores rows in arrival order with no index.
+// ListDict stores rows in arrival order with no index. The duplicate set is
+// keyed by row hash with verification; eviction advances a head cursor and
+// periodically compacts the backing array so long-running windowed queries
+// do not pin the memory of every row ever stored.
 type ListDict struct {
 	entries []Entry
-	rowSet  map[string]bool
+	head    int // entries[:head] are evicted, awaiting compaction
+	rowSet  map[uint64][]tuple.Row
+	mask    uint64
 }
 
 // NewListDict returns an empty list dictionary.
 func NewListDict() *ListDict {
-	return &ListDict{rowSet: make(map[string]bool)}
+	return &ListDict{rowSet: make(map[uint64][]tuple.Row), mask: ^uint64(0)}
 }
 
 // Insert implements Dict.
 func (d *ListDict) Insert(row tuple.Row, ts tuple.Timestamp) {
 	d.entries = append(d.entries, Entry{Row: row, TS: ts})
-	d.rowSet[row.Key()] = true
+	h := row.Hash64() & d.mask
+	d.rowSet[h] = append(d.rowSet[h], row)
 }
 
 // Contains implements Dict.
-func (d *ListDict) Contains(row tuple.Row) bool { return d.rowSet[row.Key()] }
+func (d *ListDict) Contains(row tuple.Row) bool {
+	for _, r := range d.rowSet[row.Hash64()&d.mask] {
+		if r.Equal(row) {
+			return true
+		}
+	}
+	return false
+}
 
 // Candidates implements Dict: always a full scan.
 func (d *ListDict) Candidates(Lookup) []Entry {
-	return append([]Entry(nil), d.entries...)
+	return append([]Entry(nil), d.entries[d.head:]...)
 }
 
-// Evict implements Dict.
+// Evict implements Dict. The evicted prefix is released once it outgrows the
+// live half, keeping eviction amortized O(1) without retaining the whole
+// history in the slice's backing array.
 func (d *ListDict) Evict() (Entry, bool) {
-	if len(d.entries) == 0 {
+	if d.head >= len(d.entries) {
 		return Entry{}, false
 	}
-	e := d.entries[0]
-	d.entries = d.entries[1:]
-	delete(d.rowSet, e.Row.Key())
+	e := d.entries[d.head]
+	d.entries[d.head] = Entry{} // release the row for GC
+	d.head++
+	if d.head > 32 && d.head > len(d.entries)/2 {
+		n := copy(d.entries, d.entries[d.head:])
+		clear(d.entries[n:])
+		d.entries = d.entries[:n]
+		d.head = 0
+	}
+	h := e.Row.Hash64() & d.mask
+	d.rowSet[h] = removeRow(d.rowSet[h], e.Row)
+	if len(d.rowSet[h]) == 0 {
+		delete(d.rowSet, h)
+	}
 	return e, true
 }
 
+// removeRow deletes one row equal to r from a bucket, preserving order.
+func removeRow(rows []tuple.Row, r tuple.Row) []tuple.Row {
+	for i, x := range rows {
+		if x.Equal(r) {
+			return append(rows[:i], rows[i+1:]...)
+		}
+	}
+	return rows
+}
+
 // Len implements Dict.
-func (d *ListDict) Len() int { return len(d.entries) }
+func (d *ListDict) Len() int { return len(d.entries) - d.head }
 
 // MaxTS implements Dict.
 func (d *ListDict) MaxTS() tuple.Timestamp {
 	var max tuple.Timestamp
-	for _, e := range d.entries {
+	for _, e := range d.entries[d.head:] {
 		if e.TS > max {
 			max = e.TS
 		}
@@ -318,7 +417,8 @@ type SortedDict struct {
 	runSize int
 	runs    [][]Entry
 	cur     []Entry
-	rowSet  map[string]bool
+	rowSet  map[uint64][]tuple.Row
+	mask    uint64
 }
 
 // NewSortedDict returns a sorted-run dictionary on sortCol with the given
@@ -327,7 +427,7 @@ func NewSortedDict(sortCol, runSize int) *SortedDict {
 	if runSize <= 0 {
 		runSize = 64
 	}
-	return &SortedDict{sortCol: sortCol, runSize: runSize, rowSet: make(map[string]bool)}
+	return &SortedDict{sortCol: sortCol, runSize: runSize, rowSet: make(map[uint64][]tuple.Row), mask: ^uint64(0)}
 }
 
 // Runs returns the number of sealed sorted runs (for tests and benchmarks).
@@ -336,7 +436,8 @@ func (d *SortedDict) Runs() int { return len(d.runs) }
 // Insert implements Dict.
 func (d *SortedDict) Insert(row tuple.Row, ts tuple.Timestamp) {
 	d.cur = append(d.cur, Entry{Row: row, TS: ts})
-	d.rowSet[row.Key()] = true
+	h := row.Hash64() & d.mask
+	d.rowSet[h] = append(d.rowSet[h], row)
 	if len(d.cur) >= d.runSize {
 		d.sealRun()
 	}
@@ -355,7 +456,14 @@ func (d *SortedDict) sealRun() {
 }
 
 // Contains implements Dict.
-func (d *SortedDict) Contains(row tuple.Row) bool { return d.rowSet[row.Key()] }
+func (d *SortedDict) Contains(row tuple.Row) bool {
+	for _, r := range d.rowSet[row.Hash64()&d.mask] {
+		if r.Equal(row) {
+			return true
+		}
+	}
+	return false
+}
 
 // Candidates implements Dict: if the lookup binds the sort column — by
 // equality or by a range condition — each sealed run is binary-searched; the
@@ -454,37 +562,41 @@ func evalRange(v value.V, rc RangeCond) bool {
 	}
 }
 
-// Evict implements Dict.
+// Evict implements Dict: removes the entry with the smallest timestamp
+// across the sealed runs and the unsealed tail.
 func (d *SortedDict) Evict() (Entry, bool) {
 	bestRun, bestIdx := -1, -1
 	var bestTS tuple.Timestamp
 	for ri, run := range d.runs {
 		for i, e := range run {
-			if bestRun < 0 || e.TS < bestTS {
+			if bestIdx < 0 || e.TS < bestTS {
 				bestRun, bestIdx, bestTS = ri, i, e.TS
 			}
 		}
 	}
 	for i, e := range d.cur {
-		if bestRun < 0 && bestIdx < 0 || e.TS < bestTS {
-			bestRun, bestIdx, bestTS = -2, i, e.TS
+		if bestIdx < 0 || e.TS < bestTS {
+			bestRun, bestIdx, bestTS = -1, i, e.TS
 		}
 	}
-	switch {
-	case bestRun >= 0:
-		run := d.runs[bestRun]
-		e := run[bestIdx]
-		d.runs[bestRun] = append(run[:bestIdx:bestIdx], run[bestIdx+1:]...)
-		delete(d.rowSet, e.Row.Key())
-		return e, true
-	case bestRun == -2:
-		e := d.cur[bestIdx]
-		d.cur = append(d.cur[:bestIdx:bestIdx], d.cur[bestIdx+1:]...)
-		delete(d.rowSet, e.Row.Key())
-		return e, true
-	default:
+	if bestIdx < 0 {
 		return Entry{}, false
 	}
+	var e Entry
+	if bestRun >= 0 {
+		run := d.runs[bestRun]
+		e = run[bestIdx]
+		d.runs[bestRun] = append(run[:bestIdx:bestIdx], run[bestIdx+1:]...)
+	} else {
+		e = d.cur[bestIdx]
+		d.cur = append(d.cur[:bestIdx:bestIdx], d.cur[bestIdx+1:]...)
+	}
+	h := e.Row.Hash64() & d.mask
+	d.rowSet[h] = removeRow(d.rowSet[h], e.Row)
+	if len(d.rowSet[h]) == 0 {
+		delete(d.rowSet, h)
+	}
+	return e, true
 }
 
 // Len implements Dict.
@@ -514,12 +626,16 @@ func (d *SortedDict) MaxTS() tuple.Timestamp {
 	return max
 }
 
-// lookupFor derives the lookup for a probe tuple against table column
+// lookupInto derives the lookup for a probe tuple against table column
 // constraints: equality columns from equi-join predicates, range conditions
 // from the comparison joins (band joins). BindSide orients the op as
-// "fromValue op t.column"; the stored-side condition is the flip.
-func lookupFor(t *tuple.Tuple, table int, preds []pred.P) Lookup {
-	var lk Lookup
+// "fromValue op t.column"; the stored-side condition is the flip. The
+// lookup is built into lk, reusing its slices, so per-probe lookup
+// construction allocates nothing in steady state.
+func lookupInto(lk *Lookup, t *tuple.Tuple, table int, preds []pred.P) {
+	lk.EquiCols = lk.EquiCols[:0]
+	lk.EquiVals = lk.EquiVals[:0]
+	lk.Ranges = lk.Ranges[:0]
 	for _, p := range preds {
 		tCol, from, op, ok := p.BindSide(t.Span, table)
 		if !ok {
@@ -533,5 +649,4 @@ func lookupFor(t *tuple.Tuple, table int, preds []pred.P) Lookup {
 		}
 		lk.Ranges = append(lk.Ranges, RangeCond{Col: tCol, Op: op.Flip(), Val: v})
 	}
-	return lk
 }

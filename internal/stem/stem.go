@@ -9,16 +9,17 @@ package stem
 
 import (
 	"fmt"
+	"slices"
 	"sort"
-	"strconv"
-	"strings"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/clock"
 	"repro/internal/flow"
+	"repro/internal/pred"
 	"repro/internal/query"
 	"repro/internal/tuple"
+	"repro/internal/value"
 )
 
 // Counter issues the global, monotonically increasing build timestamps of
@@ -104,9 +105,9 @@ type SteM struct {
 	mu      sync.Mutex
 	dict    Dict
 	fullEOT bool
-	// eotKeys maps a bound-column signature ("1,2") to the set of bound
-	// value keys for which all matches have been transmitted.
-	eotKeys map[string]map[string]bool
+	// eot records, per distinct bound-column signature, the bound-value rows
+	// for which all matches have been transmitted (hash-with-verify keyed).
+	eot []eotIdx
 	// pending holds build tuples awaiting a batched bounce-back.
 	pending []*tuple.Tuple
 	// joinCols are the table's columns involved in join predicates.
@@ -114,14 +115,32 @@ type SteM struct {
 	stats    Stats
 	// govID is this SteM's membership handle in cfg.Gov (-1 when ungoverned).
 	govID int
+
+	// Per-probe scratch state, guarded by mu like the dictionary itself:
+	// lk is the reused lookup, bindScratch the reused bound-value row, and
+	// catScratch recycles concatenations that failed predicate verification,
+	// so a probe with non-qualifying candidates allocates no tuples.
+	lk          Lookup
+	bindScratch tuple.Row
+	catScratch  *tuple.Tuple
+	// predCache memoizes JoinPredsConnecting per probe span.
+	predCache map[tuple.TableSet][]pred.P
+}
+
+// eotIdx is the completeness metadata of index EOT tuples for one
+// bound-column signature: the set of bound-value rows fully transmitted,
+// keyed by row hash and verified by row equality on lookup.
+type eotIdx struct {
+	cols []int
+	keys map[uint64][]tuple.Row
 }
 
 // New creates a SteM from a config.
 func New(cfg Config) *SteM {
 	s := &SteM{
-		cfg:     cfg,
-		name:    fmt.Sprintf("SteM(%s)", cfg.Q.Tables[cfg.Table].Name),
-		eotKeys: make(map[string]map[string]bool),
+		cfg:       cfg,
+		name:      fmt.Sprintf("SteM(%s)", cfg.Q.Tables[cfg.Table].Name),
+		predCache: make(map[tuple.TableSet][]pred.P),
 	}
 	s.joinCols = JoinCols(cfg.Q, cfg.Table)
 	if cfg.Dict != nil {
@@ -229,11 +248,20 @@ func (s *SteM) processLocked(t *tuple.Tuple, pc *probeCache) ([]flow.Emission, c
 	}
 }
 
-// probeCache memoizes dictionary candidate lists by lookup key within one
-// batch, so probes grouped on the same key hash once. Builds and evictions
-// invalidate it.
+// probeCache memoizes dictionary candidate lists by hashed lookup key within
+// one batch, so probes grouped on the same key hash once. Entries carry the
+// equality constraints they were computed for, verifying them on every hit
+// (hash-with-verify: two lookups colliding on the 64-bit key must not share
+// candidates). Builds and evictions invalidate the cache.
 type probeCache struct {
-	m map[string][]Entry
+	m map[uint64][]cachedCands
+}
+
+// cachedCands is one verified cache entry.
+type cachedCands struct {
+	cols []int
+	vals []value.V
+	es   []Entry
 }
 
 func (pc *probeCache) invalidate() { pc.m = nil }
@@ -248,14 +276,22 @@ func (pc *probeCache) candidates(d Dict, lk Lookup) []Entry {
 	if !ok {
 		return d.Candidates(lk)
 	}
-	if es, hit := pc.m[key]; hit {
-		return es
+	for _, c := range pc.m[key] {
+		if lk.equiEqual(c.cols, c.vals) {
+			return c.es
+		}
 	}
 	es := d.Candidates(lk)
 	if pc.m == nil {
-		pc.m = make(map[string][]Entry)
+		pc.m = make(map[uint64][]cachedCands)
 	}
-	pc.m[key] = es
+	// The lookup's slices are per-SteM scratch reused by the next probe, so
+	// the cache keeps its own copies.
+	pc.m[key] = append(pc.m[key], cachedCands{
+		cols: slices.Clone(lk.EquiCols),
+		vals: slices.Clone(lk.EquiVals),
+		es:   es,
+	})
 	return es
 }
 
@@ -306,8 +342,8 @@ func (s *SteM) flushPending() []flow.Emission {
 	if len(s.joinCols) > 0 {
 		c := s.joinCols[0]
 		sort.SliceStable(p, func(i, j int) bool {
-			hi := p[i].Comp[s.cfg.Table][c].Hash() % 16
-			hj := p[j].Comp[s.cfg.Table][c].Hash() % 16
+			hi := p[i].Comp[s.cfg.Table][c].Hash64() % 16
+			hj := p[j].Comp[s.cfg.Table][c].Hash64() % 16
 			return hi < hj
 		})
 	}
@@ -339,14 +375,36 @@ func (s *SteM) buildEOT(t *tuple.Tuple) []flow.Emission {
 		}
 		return nil
 	}
-	sig := colSig(info.BoundCols)
-	set := s.eotKeys[sig]
-	if set == nil {
-		set = make(map[string]bool)
-		s.eotKeys[sig] = set
+	idx := s.eotIdxFor(info.BoundCols)
+	row := t.Comp[s.cfg.Table]
+	bound := make(tuple.Row, len(info.BoundCols))
+	for i, c := range info.BoundCols {
+		bound[i] = row[c]
 	}
-	set[valuesKey(t.Comp[s.cfg.Table], info.BoundCols)] = true
+	h := bound.Hash64()
+	for _, r := range idx.keys[h] {
+		if r.Equal(bound) {
+			return nil // already recorded
+		}
+	}
+	idx.keys[h] = append(idx.keys[h], bound)
 	return nil
+}
+
+// eotIdxFor returns (creating on first use) the completeness index for one
+// bound-column signature. The signature list is tiny — one entry per
+// distinct index key shape — so a linear scan beats any map keying.
+func (s *SteM) eotIdxFor(cols []int) *eotIdx {
+	for i := range s.eot {
+		if slices.Equal(s.eot[i].cols, cols) {
+			return &s.eot[i]
+		}
+	}
+	s.eot = append(s.eot, eotIdx{
+		cols: slices.Clone(cols),
+		keys: make(map[uint64][]tuple.Row),
+	})
+	return &s.eot[len(s.eot)-1]
 }
 
 // probe finds matches for t among stored rows, concatenates them (verifying
@@ -354,23 +412,30 @@ func (s *SteM) buildEOT(t *tuple.Tuple) []flow.Emission {
 // decides whether to bounce t back per the SteM BounceBack constraint.
 func (s *SteM) probe(t *tuple.Tuple, pc *probeCache) []flow.Emission {
 	s.stats.Probes++
-	preds := s.cfg.Q.JoinPredsConnecting(t.Span, s.cfg.Table)
-	lk := lookupFor(t, s.cfg.Table, preds)
+	preds, ok := s.predCache[t.Span]
+	if !ok {
+		preds = s.cfg.Q.JoinPredsConnecting(t.Span, s.cfg.Table)
+		s.predCache[t.Span] = preds
+	}
+	lookupInto(&s.lk, t, s.cfg.Table, preds)
 	probeTS := t.TS()
 	lastMatch := t.LastMatchTS
 
 	var out []flow.Emission
-	for _, e := range pc.candidates(s.dict, lk) {
+	for _, e := range pc.candidates(s.dict, s.lk) {
 		// TimeStamp constraint: result returned iff ts(probe) > ts(match);
 		// LastMatchTimeStamp guards repeated probes (§3.5).
 		if e.TS >= probeTS || e.TS <= lastMatch {
 			continue
 		}
-		m := s.singleton(e)
-		cat := t.Concat(m)
+		// Concatenate the stored row directly (no singleton materialization),
+		// recycling the component slices of failed concatenations.
+		cat := t.ConcatRowInto(s.catScratch, s.cfg.Table, e.Row, e.TS)
 		if !s.verify(cat) {
+			s.catScratch = cat
 			continue
 		}
+		s.catScratch = nil
 		s.stats.Matches++
 		out = append(out, flow.Emit(cat))
 	}
@@ -384,14 +449,6 @@ func (s *SteM) probe(t *tuple.Tuple, pc *probeCache) []flow.Emission {
 		out = append(out, flow.Emit(t))
 	}
 	return out
-}
-
-// singleton wraps a stored entry as a built singleton tuple.
-func (s *SteM) singleton(e Entry) *tuple.Tuple {
-	m := tuple.NewSingleton(len(s.cfg.Q.Tables), s.cfg.Table, e.Row)
-	m.CompTS[s.cfg.Table] = e.TS
-	m.Built = tuple.Single(s.cfg.Table)
-	return m
 }
 
 // verify evaluates every query predicate that is applicable to the
@@ -439,24 +496,28 @@ func (s *SteM) complete(t *tuple.Tuple) bool {
 	if s.fullEOT {
 		return true
 	}
-	for sig, set := range s.eotKeys {
-		cols := parseSig(sig)
-		vals, ok := s.bindCols(t, cols)
+	for i := range s.eot {
+		idx := &s.eot[i]
+		bound, ok := s.bindCols(t, idx.cols)
 		if !ok {
 			continue
 		}
-		if set[vals] {
-			return true
+		h := bound.Hash64()
+		for _, r := range idx.keys[h] {
+			if r.Equal(bound) {
+				return true
+			}
 		}
 	}
 	return false
 }
 
 // bindCols derives the values of the given columns of this SteM's table from
-// probe t via equality join predicates; ok is false if any column is
-// unbound.
-func (s *SteM) bindCols(t *tuple.Tuple, cols []int) (string, bool) {
-	row := make(tuple.Row, 0, len(cols))
+// probe t via equality join predicates, into the SteM's reused scratch row;
+// ok is false if any column is unbound. The returned row is only valid until
+// the next bindCols call.
+func (s *SteM) bindCols(t *tuple.Tuple, cols []int) (tuple.Row, bool) {
+	row := s.bindScratch[:0]
 	for _, c := range cols {
 		found := false
 		for _, p := range s.cfg.Q.Preds {
@@ -475,49 +536,10 @@ func (s *SteM) bindCols(t *tuple.Tuple, cols []int) (string, bool) {
 			}
 		}
 		if !found {
-			return "", false
+			s.bindScratch = row[:0]
+			return nil, false
 		}
 	}
-	return valuesKeyFromPairs(cols, row), true
-}
-
-func colSig(cols []int) string {
-	parts := make([]string, len(cols))
-	for i, c := range cols {
-		parts[i] = strconv.Itoa(c)
-	}
-	return strings.Join(parts, ",")
-}
-
-func parseSig(sig string) []int {
-	parts := strings.Split(sig, ",")
-	out := make([]int, len(parts))
-	for i, p := range parts {
-		out[i], _ = strconv.Atoi(p)
-	}
-	return out
-}
-
-// valuesKey encodes the values of the given columns of a full row.
-func valuesKey(row tuple.Row, cols []int) string {
-	var b strings.Builder
-	for i, c := range cols {
-		if i > 0 {
-			b.WriteByte('|')
-		}
-		b.WriteString(row[c].Key())
-	}
-	return b.String()
-}
-
-// valuesKeyFromPairs encodes column values supplied as a parallel slice.
-func valuesKeyFromPairs(cols []int, vals tuple.Row) string {
-	var b strings.Builder
-	for i := range cols {
-		if i > 0 {
-			b.WriteByte('|')
-		}
-		b.WriteString(vals[i].Key())
-	}
-	return b.String()
+	s.bindScratch = row[:0]
+	return row, true
 }

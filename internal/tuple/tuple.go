@@ -39,8 +39,9 @@ func (r Row) Equal(o Row) bool {
 	return true
 }
 
-// Key returns a stable string encoding of the row, used for set-semantics
-// duplicate elimination inside SteMs (Section 3.2).
+// Key returns a stable string encoding of the row. Distinct rows always map
+// to distinct keys; the test oracle relies on that injectivity. Engine paths
+// use Hash64 instead, which allocates nothing.
 func (r Row) Key() string {
 	var b strings.Builder
 	for i, v := range r {
@@ -50,6 +51,27 @@ func (r Row) Key() string {
 		b.WriteString(v.Key())
 	}
 	return b.String()
+}
+
+// Hash64 returns a stable, allocation-free hash of the row: the values
+// folded in order into one FNV-1a state. Hashes are not injective — storage
+// keyed by them must verify candidates with Equal (hash-with-verify).
+func (r Row) Hash64() uint64 {
+	h := value.HashSeed
+	for _, v := range r {
+		h = v.HashInto(h)
+	}
+	return h
+}
+
+// HashCols returns the Hash64 of the projection of r on cols, without
+// materializing the projected row.
+func (r Row) HashCols(cols []int) uint64 {
+	h := value.HashSeed
+	for _, c := range cols {
+		h = r[c].HashInto(h)
+	}
+	return h
 }
 
 // String renders the row for debugging.
@@ -97,7 +119,8 @@ func All(n int) TableSet {
 	return TableSet(1)<<uint(n) - 1
 }
 
-// Members returns the table positions in ascending order.
+// Members returns the table positions in ascending order. Hot paths use the
+// allocation-free Each iterator instead.
 func (s TableSet) Members() []int {
 	out := make([]int, 0, s.Count())
 	for v := uint64(s); v != 0; {
@@ -106,6 +129,27 @@ func (s TableSet) Members() []int {
 		v &^= 1 << uint(i)
 	}
 	return out
+}
+
+// Each yields the table positions in ascending order without allocating;
+// it is usable directly in a range statement: for i := range s.Each { ... }.
+func (s TableSet) Each(yield func(int) bool) {
+	for v := uint64(s); v != 0; {
+		i := bits.TrailingZeros64(v)
+		if !yield(i) {
+			return
+		}
+		v &^= 1 << uint(i)
+	}
+}
+
+// First returns the smallest table position in the set; it panics if the set
+// is empty.
+func (s TableSet) First() int {
+	if s == 0 {
+		panic("tuple: First on empty TableSet")
+	}
+	return bits.TrailingZeros64(uint64(s))
 }
 
 // String renders the set for debugging, e.g. "{0,2}".
@@ -266,7 +310,7 @@ func (t *Tuple) SingleTable() int {
 	if !t.IsSingleton() {
 		panic("tuple: SingleTable on non-singleton " + t.Span.String())
 	}
-	return t.Span.Members()[0]
+	return t.Span.First()
 }
 
 // TS returns the tuple's timestamp: the maximum build timestamp over its
@@ -274,7 +318,7 @@ func (t *Tuple) SingleTable() int {
 // component"). A tuple with any unbuilt component has timestamp InfTS.
 func (t *Tuple) TS() Timestamp {
 	var max Timestamp
-	for _, i := range t.Span.Members() {
+	for i := range t.Span.Each {
 		ts := t.CompTS[i]
 		if ts == InfTS {
 			return InfTS
@@ -303,11 +347,46 @@ func (t *Tuple) Concat(m *Tuple) *Tuple {
 	}
 	copy(out.Comp, t.Comp)
 	copy(out.CompTS, t.CompTS)
-	for _, i := range m.Span.Members() {
+	for i := range m.Span.Each {
 		out.Comp[i] = m.Comp[i]
 		out.CompTS[i] = m.CompTS[i]
 	}
 	return out
+}
+
+// ConcatRow returns a new tuple extending t with a single built base-table
+// component: row at table position table with build timestamp ts. It is the
+// common case of Concat on SteM and AM probe paths — concatenating a stored
+// singleton — without materializing the singleton tuple first. It panics if
+// t already spans table.
+func (t *Tuple) ConcatRow(table int, row Row, ts Timestamp) *Tuple {
+	return t.ConcatRowInto(nil, table, row, ts)
+}
+
+// ConcatRowInto is ConcatRow writing into dst, reusing dst's component
+// slices when they have capacity; dst may be nil, in which case a fresh
+// tuple is allocated. Probe paths recycle concatenations that fail predicate
+// verification through dst, so a probe with many non-qualifying candidates
+// allocates once, not once per candidate. The returned tuple's routing state
+// is reset, exactly as Concat resets it.
+func (t *Tuple) ConcatRowInto(dst *Tuple, table int, row Row, ts Timestamp) *Tuple {
+	if t.Span.Has(table) {
+		panic("tuple: ConcatRow onto already-spanned table " + Single(table).String())
+	}
+	n := len(t.Comp)
+	if dst == nil || cap(dst.Comp) < n || cap(dst.CompTS) < n {
+		dst = &Tuple{Comp: make([]Row, n), CompTS: make([]Timestamp, n)}
+	} else {
+		*dst = Tuple{Comp: dst.Comp[:n], CompTS: dst.CompTS[:n]}
+	}
+	copy(dst.Comp, t.Comp)
+	copy(dst.CompTS, t.CompTS)
+	dst.Comp[table] = row
+	dst.CompTS[table] = ts
+	dst.Span = t.Span.With(table)
+	dst.Done = t.Done
+	dst.Built = t.Built.With(table)
+	return dst
 }
 
 // Value returns the value of the given column of the given table's component.
@@ -342,7 +421,7 @@ func (t *Tuple) String() string {
 		fmt.Fprintf(&b, "eot[T%d]", t.EOT.Table)
 	}
 	b.WriteString(t.Span.String())
-	for _, i := range t.Span.Members() {
+	for i := range t.Span.Each {
 		b.WriteString(t.Comp[i].String())
 	}
 	if t.PriorProber {

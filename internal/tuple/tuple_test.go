@@ -200,3 +200,104 @@ func TestRowClone(t *testing.T) {
 		t.Error("Clone shares storage")
 	}
 }
+
+// TestEachMatchesMembers: the allocation-free iterator visits exactly the
+// Members sequence, and supports early exit.
+func TestEachMatchesMembers(t *testing.T) {
+	sets := []TableSet{0, Single(0), Single(3).With(7), All(5), ^TableSet(0)}
+	for _, s := range sets {
+		var got []int
+		for i := range s.Each {
+			got = append(got, i)
+		}
+		want := s.Members()
+		if len(got) != len(want) {
+			t.Fatalf("Each over %s yielded %v, want %v", s, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("Each over %s yielded %v, want %v", s, got, want)
+			}
+		}
+	}
+	n := 0
+	for range All(8).Each {
+		n++
+		if n == 3 {
+			break
+		}
+	}
+	if n != 3 {
+		t.Errorf("early exit ran %d iterations, want 3", n)
+	}
+}
+
+func TestFirst(t *testing.T) {
+	if got := Single(5).With(9).First(); got != 5 {
+		t.Errorf("First = %d, want 5", got)
+	}
+}
+
+// TestRowHash64 ties the row hash to value-level chaining and checks
+// HashCols projects correctly.
+func TestRowHash64(t *testing.T) {
+	r := Row{value.NewInt(1), value.NewStr("x"), value.NewInt(2)}
+	h := value.HashSeed
+	for _, v := range r {
+		h = v.HashInto(h)
+	}
+	if r.Hash64() != h {
+		t.Error("Row.Hash64 does not chain value hashes")
+	}
+	if r.HashCols([]int{0, 2}) != (Row{r[0], r[2]}).Hash64() {
+		t.Error("HashCols differs from hashing the projected row")
+	}
+	if r.Hash64() == (Row{r[1], r[0], r[2]}).Hash64() {
+		t.Error("row hash ignores order")
+	}
+}
+
+// TestConcatRowMatchesConcat: ConcatRow must produce exactly the tuple that
+// Concat with a built singleton produces, and ConcatRowInto must reuse the
+// destination's slices.
+func TestConcatRowMatchesConcat(t *testing.T) {
+	base := NewSingleton(3, 0, Row{value.NewInt(1)})
+	base.CompTS[0] = 5
+	base.Built = Single(0)
+	base.Done = SinglePred(2)
+
+	row := Row{value.NewInt(9)}
+	m := NewSingleton(3, 2, row)
+	m.CompTS[2] = 7
+	m.Built = Single(2)
+
+	want := base.Concat(m)
+	got := base.ConcatRow(2, row, 7)
+	if got.Span != want.Span || got.Done != want.Done || got.Built != want.Built {
+		t.Fatalf("ConcatRow state = %v/%v/%v, want %v/%v/%v",
+			got.Span, got.Done, got.Built, want.Span, want.Done, want.Built)
+	}
+	for i := range want.Comp {
+		if !got.Comp[i].Equal(want.Comp[i]) || got.CompTS[i] != want.CompTS[i] {
+			t.Fatalf("component %d differs", i)
+		}
+	}
+
+	reused := base.ConcatRowInto(got, 1, Row{value.NewInt(3)}, 8)
+	if reused != got {
+		t.Error("ConcatRowInto did not reuse the destination tuple")
+	}
+	if reused.Span != Single(0).With(1) || reused.CompTS[1] != 8 {
+		t.Errorf("reused concat has span %v ts %d", reused.Span, reused.CompTS[1])
+	}
+	if reused.Comp[2] != nil {
+		t.Error("reused concat leaked a stale component")
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Error("ConcatRow onto a spanned table must panic")
+		}
+	}()
+	base.ConcatRow(0, row, 1)
+}

@@ -9,7 +9,6 @@ package value
 
 import (
 	"fmt"
-	"hash/fnv"
 	"strconv"
 )
 
@@ -115,26 +114,46 @@ func (v V) Compare(o V) int {
 	}
 }
 
-// Hash returns a stable hash of the value, suitable for hash-index buckets.
-func (v V) Hash() uint64 {
-	h := fnv.New64a()
-	var buf [9]byte
-	buf[0] = byte(v.K)
+// FNV-1a parameters. The hash layer is hand-inlined rather than built on
+// hash/fnv so that no hasher object (or byte buffer) is allocated per
+// operation: every dictionary build/probe hashes at least one value, and the
+// paper's premise is that those operations are cheap enough to route every
+// tuple through.
+const (
+	// HashSeed is the FNV-1a offset basis: the initial state for HashInto
+	// chains (row hashers, lookup-key hashers).
+	HashSeed  uint64 = 14695981039346656037
+	hashPrime uint64 = 1099511628211
+)
+
+// MixUint64 folds the 8 little-endian bytes of u into FNV-1a state h.
+func MixUint64(h, u uint64) uint64 {
+	for i := 0; i < 64; i += 8 {
+		h = (h ^ (u >> i & 0xff)) * hashPrime
+	}
+	return h
+}
+
+// HashInto folds the value into FNV-1a state h, byte-for-byte compatible
+// with hashing the kind byte followed by the payload (8 little-endian bytes
+// for Int, the raw bytes for Str). Hashes are not injective: every consumer
+// that keys storage by them verifies candidates with Equal.
+func (v V) HashInto(h uint64) uint64 {
+	h = (h ^ uint64(v.K)) * hashPrime
 	switch v.K {
 	case Int:
-		u := uint64(v.I)
-		for i := 0; i < 8; i++ {
-			buf[1+i] = byte(u >> (8 * i))
-		}
-		h.Write(buf[:9])
+		h = MixUint64(h, uint64(v.I))
 	case Str:
-		h.Write(buf[:1])
-		h.Write([]byte(v.S))
-	default:
-		h.Write(buf[:1])
+		for i := 0; i < len(v.S); i++ {
+			h = (h ^ uint64(v.S[i])) * hashPrime
+		}
 	}
-	return h.Sum64()
+	return h
 }
+
+// Hash64 returns a stable hash of the value, suitable for hash-index
+// buckets. It allocates nothing.
+func (v V) Hash64() uint64 { return v.HashInto(HashSeed) }
 
 // String renders the value for debugging and experiment output.
 func (v V) String() string {

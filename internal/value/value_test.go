@@ -1,6 +1,7 @@
 package value
 
 import (
+	"hash/fnv"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -90,7 +91,7 @@ func TestCompareTotalOrder(t *testing.T) {
 func TestHashAndKeyConsistentWithEqual(t *testing.T) {
 	f := func(a, b V) bool {
 		if a.Equal(b) {
-			return a.Hash() == b.Hash() && a.Key() == b.Key()
+			return a.Hash64() == b.Hash64() && a.Key() == b.Key()
 		}
 		return a.Key() != b.Key() // Key must be injective
 	}
@@ -116,5 +117,48 @@ func TestKindString(t *testing.T) {
 	}
 	if Kind(99).String() == "" {
 		t.Error("unknown kind must still render")
+	}
+}
+
+// TestHash64MatchesFNV pins the inlined hash to the reference hash/fnv
+// implementation it replaced: kind byte, then payload bytes.
+func TestHash64MatchesFNV(t *testing.T) {
+	ref := func(v V) uint64 {
+		h := fnv.New64a()
+		var buf [9]byte
+		buf[0] = byte(v.K)
+		switch v.K {
+		case Int:
+			u := uint64(v.I)
+			for i := 0; i < 8; i++ {
+				buf[1+i] = byte(u >> (8 * i))
+			}
+			h.Write(buf[:9])
+		case Str:
+			h.Write(buf[:1])
+			h.Write([]byte(v.S))
+		default:
+			h.Write(buf[:1])
+		}
+		return h.Sum64()
+	}
+	f := func(v V) bool { return v.Hash64() == ref(v) }
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestHashIntoChains verifies chained hashing is position-sensitive enough
+// for multi-value keys: swapping values changes the hash (with overwhelming
+// probability on the quick-check domain).
+func TestHashIntoChains(t *testing.T) {
+	a, b := NewInt(1), NewInt(2)
+	h1 := b.HashInto(a.HashInto(HashSeed))
+	h2 := a.HashInto(b.HashInto(HashSeed))
+	if h1 == h2 {
+		t.Error("chained hash ignores order")
+	}
+	if a.HashInto(HashSeed) != a.Hash64() {
+		t.Error("Hash64 must equal HashInto(HashSeed)")
 	}
 }
