@@ -14,7 +14,8 @@
 // -engine selects the executor: sim (default) is the deterministic
 // discrete-event simulator; concurrent runs the goroutine-per-module engine,
 // whose eddy moves tuples in batches of -batch (default 64; 1 is
-// tuple-at-a-time).
+// tuple-at-a-time). -shards hash-partitions each SteM into that many
+// sub-stores, giving the concurrent engine one worker per shard.
 package main
 
 import (
@@ -48,6 +49,7 @@ func main() {
 	policyName := flag.String("policy", "benefitcost", "routing policy: fixed, lottery, benefitcost")
 	engineName := flag.String("engine", "sim", "execution engine: sim (deterministic) or concurrent")
 	batch := flag.Int("batch", eddy.DefaultBatchSize, "concurrent engine eddy batch size; 1 is tuple-at-a-time")
+	shards := flag.Int("shards", 1, "hash-partitioned shards per SteM (rounded up to a power of two); >1 gives the concurrent engine one worker per shard")
 	scanInterval := flag.Duration("scan-interval", time.Microsecond, "virtual inter-arrival pacing of scans")
 	seed := flag.Int64("seed", 1, "seed for randomized policies")
 	timing := flag.Bool("timing", false, "print per-result virtual emission times and run stats")
@@ -65,7 +67,7 @@ func main() {
 	}
 
 	runOne := func(stmt string) bool {
-		if err := run(stmt, cat, *policyName, *engineName, *batch, *seed, *timing, *explain); err != nil {
+		if err := run(stmt, cat, *policyName, *engineName, *batch, *shards, *seed, *timing, *explain); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return false
 		}
@@ -134,7 +136,7 @@ func loadCatalog(tables, indexes tableFlags, scanInterval time.Duration) (sql.Ma
 	return cat, nil
 }
 
-func run(stmtSrc string, cat sql.MapCatalog, policyName, engineName string, batch int, seed int64, timing, explain bool) error {
+func run(stmtSrc string, cat sql.MapCatalog, policyName, engineName string, batch, shards int, seed int64, timing, explain bool) error {
 	stmt, err := sql.Parse(stmtSrc)
 	if err != nil {
 		return err
@@ -154,7 +156,7 @@ func run(stmtSrc string, cat sql.MapCatalog, policyName, engineName string, batc
 	default:
 		return fmt.Errorf("stemsql: unknown policy %q", policyName)
 	}
-	r, err := eddy.NewRouter(bound.Q, eddy.Options{Policy: pol})
+	r, err := eddy.NewRouter(bound.Q, eddy.Options{Policy: pol, Shards: shards})
 	if err != nil {
 		return err
 	}

@@ -5,6 +5,15 @@
 // it on either engine. The building blocks live in internal/stem and
 // internal/eddy; this package is the canonical way to put them together, as
 // used by the public facade, the experiment harness and the CLI.
+//
+// Choosing an engine: Simulated is the deterministic discrete-event
+// reference — identical output sequences run to run, virtual time, supports
+// deadlines — and is what every figure reproduction and oracle test uses.
+// Threaded is the deployment-shaped goroutine/channel engine on a
+// (compressible) real clock; it honors eddy.Options.Shards by giving each
+// SteM shard its own worker, so it is the engine to use when measuring
+// parallel behaviour. Both run the same modules and the same router, and
+// must produce the same result multiset.
 package core
 
 import (

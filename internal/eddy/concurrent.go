@@ -10,6 +10,16 @@
 // module locking, and policy decisions amortize across the batch. BatchSize
 // 1 reproduces the original tuple-at-a-time behavior exactly.
 //
+// Modules that implement flow.Sharded with more than one shard get one
+// inbox and one worker per shard: the eddy resolves each routed tuple's
+// shard (ShardOf) and coalesces per (span, shard), so builds and probes on
+// different shards of the same SteM are serviced fully in parallel.
+// Broadcast tuples (flow.ShardAll — EOTs) are replicated to every shard
+// inbox behind a flush of the module's coalescing buffers, preserving the
+// build-before-EOT delivery order per shard; flow.ShardAny tuples are
+// handed to one shard worker and synchronize across shards inside the
+// module.
+//
 // The engine is not deterministic (that is the simulator's job); it is the
 // deployment-shaped engine, and the race-exercising tests run the same
 // correctness oracle against it.
@@ -108,12 +118,24 @@ func (b *inbox) close() {
 	b.cond.Broadcast()
 }
 
-// eddyEvent is a message to the eddy goroutine: a batch of tuples to route
-// or policy feedback from a module worker (policies are not thread-safe, so
-// all policy calls happen on the eddy goroutine).
+// eddyEvent is a message to the eddy goroutine: a batch of tuples to route,
+// policy feedback from a module worker (policies are not thread-safe, so
+// all policy calls happen on the eddy goroutine), or an already-routed
+// tuple to deliver to its module through the eddy-goroutine-only enqueue
+// path (deliverT set; used for delayed broadcast deliveries that need the
+// flush-first ordering discipline).
 type eddyEvent struct {
-	b  *flow.Batch
-	fb *policy.Feedback
+	b          *flow.Batch
+	fb         *policy.Feedback
+	deliverT   *tuple.Tuple
+	deliverMod int
+}
+
+// pendKey identifies one coalescing buffer: the tuples' shared routing span
+// and, for sharded modules, the shard their batch will be serviced by.
+type pendKey struct {
+	span  tuple.TableSet
+	shard int
 }
 
 // Concurrent drives a Routing with goroutines and channels on a real clock.
@@ -131,23 +153,34 @@ type Concurrent struct {
 	// run returns the results produced so far plus an error.
 	WallTimeout time.Duration
 
-	events   chan eddyEvent
-	inboxes  []*inbox
+	events chan eddyEvent
+	// inboxes is indexed [module][shard]; unsharded modules have exactly one
+	// inbox that all their workers share.
+	inboxes [][]*inbox
+	// sharded caches each module's flow.Sharded interface when it has more
+	// than one shard; nil entries take the unsharded path.
+	sharded  []flow.Sharded
 	inflight atomic.Int64
 	costEWMA []atomic.Int64 // per-module EWMA service cost per tuple, ns
 
 	// pend, staging, and decisions are eddy-goroutine-only: the per-module
 	// coalescing buffers, the reused routing batch incoming tuples drain
 	// into, and the reused RouteBatch scratch. pend is keyed by the
-	// tuples' span within each module, so every released batch is
-	// span-homogeneous and its policy feedback attributes to one tuplestate
-	// signature. batchCap is the per-module coalescing limit: BatchSize for
-	// single-server modules, 1 for modules with internal parallelism
-	// (batching those would serialize service their Parallel() worker pool
-	// is meant to overlap — e.g. asynchronous index lookups).
-	pend      []map[tuple.TableSet]*flow.Batch
+	// tuples' span (and shard) within each module, so every released batch
+	// is span-homogeneous — its policy feedback attributes to one
+	// tuplestate signature — and shard-homogeneous — its service takes one
+	// shard lock. batchCap is the per-module coalescing limit: BatchSize
+	// for single-server and sharded modules (each shard is a single
+	// server), 1 for modules with internal parallelism (batching those
+	// would serialize service their Parallel() worker pool is meant to
+	// overlap — e.g. asynchronous index lookups).
+	pend      []map[pendKey]*flow.Batch
 	pendCount []int
 	batchCap  []int
+	// anyRR round-robins flow.ShardAny tuples across shard inboxes; atomic
+	// because both the eddy goroutine (enqueue) and timer goroutines
+	// (deliverDirect) draw from it.
+	anyRR     []atomic.Int64
 	staging   *flow.Batch
 	decisions []Decision
 
@@ -180,7 +213,10 @@ func (c *Concurrent) Backlog(mod int) clock.Duration {
 	if par == 0 {
 		return 0
 	}
-	waiting := c.inboxes[mod].len() + c.pendCount[mod]
+	waiting := c.pendCount[mod]
+	for _, ib := range c.inboxes[mod] {
+		waiting += ib.len()
+	}
 	return clock.Duration(int64(waiting) * c.costEWMA[mod].Load() / int64(par))
 }
 
@@ -191,15 +227,31 @@ func (c *Concurrent) Run() ([]Output, error) {
 		c.BatchSize = DefaultBatchSize
 	}
 	mods := c.r.Modules()
-	c.inboxes = make([]*inbox, len(mods))
-	c.pend = make([]map[tuple.TableSet]*flow.Batch, len(mods))
+	c.inboxes = make([][]*inbox, len(mods))
+	c.sharded = make([]flow.Sharded, len(mods))
+	c.pend = make([]map[pendKey]*flow.Batch, len(mods))
 	c.pendCount = make([]int, len(mods))
 	c.batchCap = make([]int, len(mods))
+	c.anyRR = make([]atomic.Int64, len(mods))
 	c.staging = flow.NewBatch(c.BatchSize)
 	var wg sync.WaitGroup
 	for i, m := range mods {
-		c.inboxes[i] = newInbox()
-		c.pend[i] = make(map[tuple.TableSet]*flow.Batch)
+		c.pend[i] = make(map[pendKey]*flow.Batch)
+		if sm, ok := m.(flow.Sharded); ok && sm.Shards() > 1 {
+			// One single-server inbox+worker per shard; per-shard batches
+			// coalesce like any single-server module's.
+			c.sharded[i] = sm
+			c.batchCap[i] = c.BatchSize
+			n := sm.Shards()
+			c.inboxes[i] = make([]*inbox, n)
+			for w := 0; w < n; w++ {
+				c.inboxes[i][w] = newInbox()
+				wg.Add(1)
+				go c.shardWorker(i, w, &wg)
+			}
+			continue
+		}
+		c.inboxes[i] = []*inbox{newInbox()}
 		if m.Parallel() == 1 {
 			c.batchCap[i] = c.BatchSize
 		} else {
@@ -276,6 +328,8 @@ func (c *Concurrent) Run() ([]Output, error) {
 				if ev.fb.Emitted >= 0 {
 					c.r.Policy().Observe(*ev.fb)
 				}
+			} else if ev.deliverT != nil {
+				c.enqueue(ev.deliverMod, ev.deliverT)
 			} else {
 				for _, t := range ev.b.Tuples {
 					c.staging.Add(t)
@@ -299,8 +353,10 @@ func (c *Concurrent) Run() ([]Output, error) {
 		for range c.events {
 		}
 	}()
-	for _, b := range c.inboxes {
-		b.close()
+	for _, boxes := range c.inboxes {
+		for _, b := range boxes {
+			b.close()
+		}
 	}
 	wg.Wait()
 	c.mu.Lock()
@@ -346,7 +402,7 @@ func (c *Concurrent) routeStaged() {
 			mod, delay, dt := d.Module, d.Delay, t
 			go func() {
 				<-c.clk.After(delay)
-				c.inboxes[mod].push(getBatchOf(dt))
+				c.deliverDirect(mod, dt)
 			}()
 		default:
 			c.enqueue(d.Module, t)
@@ -355,101 +411,194 @@ func (c *Concurrent) routeStaged() {
 	}
 }
 
-// enqueue adds a tuple to a module's pending batch for the tuple's span,
-// releasing the batch once it reaches the module's coalescing cap. Parallel
-// modules have cap 1, so their tuples are pushed straight through and their
-// worker pools keep overlapping service.
+// shardOf resolves the shard a tuple addresses within a module; unsharded
+// modules always use shard 0.
+func (c *Concurrent) shardOf(mod int, t *tuple.Tuple) int {
+	if sm := c.sharded[mod]; sm != nil {
+		return sm.ShardOf(t)
+	}
+	return 0
+}
+
+// enqueue adds a tuple to a module's pending batch for the tuple's (span,
+// shard), releasing the batch once it reaches the module's coalescing cap.
+// Parallel (unsharded) modules have cap 1, so their tuples are pushed
+// straight through and their worker pools keep overlapping service.
+// Broadcast (flow.ShardAll) tuples first flush the module's coalescing
+// buffers — so builds staged ahead of an EOT reach each shard's FIFO inbox
+// before its EOT copy — and are then replicated to every shard, with the
+// extra copies accounted in the in-flight counter. flow.ShardAny tuples
+// coalesce like any others (under their ShardAny key) so the module's sweep
+// path amortizes its all-shard lock acquisition across the batch, and the
+// released batches round-robin across the shard inboxes (any worker may
+// serve them).
 func (c *Concurrent) enqueue(mod int, t *tuple.Tuple) {
-	if c.batchCap[mod] <= 1 {
-		c.inboxes[mod].push(getBatchOf(t))
+	shard := c.shardOf(mod, t)
+	if shard == flow.ShardAll {
+		c.flushModule(mod)
+		boxes := c.inboxes[mod]
+		c.inflight.Add(int64(len(boxes) - 1))
+		for _, ib := range boxes {
+			ib.push(getBatchOf(t))
+		}
 		return
 	}
-	p := c.pend[mod][t.Span]
+	if c.batchCap[mod] <= 1 {
+		c.pushTo(mod, shard, getBatchOf(t))
+		return
+	}
+	key := pendKey{span: t.Span, shard: shard}
+	p := c.pend[mod][key]
 	if p == nil {
 		p = getBatch()
-		c.pend[mod][t.Span] = p
+		c.pend[mod][key] = p
 	}
 	p.Add(t)
 	c.pendCount[mod]++
 	if p.Len() >= c.batchCap[mod] {
-		delete(c.pend[mod], t.Span)
+		delete(c.pend[mod], key)
 		c.pendCount[mod] -= p.Len()
-		c.inboxes[mod].push(p)
+		c.pushTo(mod, key.shard, p)
 	}
+}
+
+// pushTo delivers a batch to one shard inbox; ShardAny batches round-robin.
+func (c *Concurrent) pushTo(mod, shard int, b *flow.Batch) {
+	if shard < 0 {
+		shard = c.nextAny(mod)
+	}
+	c.inboxes[mod][shard].push(b)
+}
+
+// deliverDirect delivers a delayed tuple straight to the module's inboxes,
+// bypassing the eddy-goroutine-only coalescing buffers (it runs on timer
+// goroutines). Today only probes are ever delayed; should a broadcast
+// (flow.ShardAll) tuple ever arrive here, it is bounced to the eddy
+// goroutine instead, whose enqueue applies the flush-first discipline that
+// keeps builds ordered ahead of EOT copies in every shard inbox.
+func (c *Concurrent) deliverDirect(mod int, t *tuple.Tuple) {
+	switch shard := c.shardOf(mod, t); shard {
+	case flow.ShardAll:
+		c.events <- eddyEvent{deliverT: t, deliverMod: mod}
+	case flow.ShardAny:
+		c.inboxes[mod][c.nextAny(mod)].push(getBatchOf(t))
+	default:
+		c.inboxes[mod][shard].push(getBatchOf(t))
+	}
+}
+
+// nextAny picks the next shard inbox for a flow.ShardAny tuple, spreading
+// sweep probes across workers (any worker may serve them — the module
+// synchronizes across shards itself).
+func (c *Concurrent) nextAny(mod int) int {
+	return int(c.anyRR[mod].Add(1) % int64(len(c.inboxes[mod])))
+}
+
+// flushModule releases every non-empty pending batch of one module.
+func (c *Concurrent) flushModule(mod int) {
+	spans := c.pend[mod]
+	if len(spans) == 0 {
+		return
+	}
+	for key, p := range spans {
+		delete(spans, key)
+		c.pushTo(mod, key.shard, p)
+	}
+	c.pendCount[mod] = 0
 }
 
 // flushAll releases every non-empty pending batch.
 func (c *Concurrent) flushAll() {
-	for mod, spans := range c.pend {
-		if len(spans) == 0 {
-			continue
-		}
-		for span, p := range spans {
-			delete(spans, span)
-			c.inboxes[mod].push(p)
-		}
-		c.pendCount[mod] = 0
+	for mod := range c.pend {
+		c.flushModule(mod)
 	}
 }
 
+// worker services one unsharded module (possibly one of several workers
+// sharing the module's single inbox, per Parallel()).
 func (c *Concurrent) worker(mod int, wg *sync.WaitGroup) {
 	defer wg.Done()
 	m := flow.Lift(c.r.Modules()[mod])
+	ib := c.inboxes[mod][0]
 	for {
-		b, ok := c.inboxes[mod].pop()
+		b, ok := ib.pop()
 		if !ok {
 			return
 		}
 		ems, cost := m.ProcessBatch(b, c.clk.Now())
-		c.observeCost(mod, cost, b.Len())
-		c.clk.Sleep(cost)
+		c.finishBatch(mod, 0, b, ems, cost)
+	}
+}
 
-		// Account for the net dataflow change before emitting, so the
-		// counter can never dip to zero while emissions are pending.
-		delta := int64(len(ems)) - int64(b.Len())
-		outputs := countNew(b, ems)
-		if delta > 0 {
-			c.inflight.Add(delta)
+// shardWorker services one shard of a sharded module: it pops the shard's
+// own inbox and calls ProcessShard, so different shards of one module are
+// serviced fully in parallel.
+func (c *Concurrent) shardWorker(mod, shard int, wg *sync.WaitGroup) {
+	defer wg.Done()
+	m := c.sharded[mod]
+	ib := c.inboxes[mod][shard]
+	for {
+		b, ok := ib.pop()
+		if !ok {
+			return
 		}
-		// Batches are span-homogeneous (the eddy coalesces per span), so the
-		// first tuple's span signs the whole batch; Visits lets learners
-		// normalize the batch totals back to per-visit values.
-		fb := policy.Feedback{
-			Module: mod, Sig: uint64(b.Tuples[0].Span),
-			Outputs: outputs, Emitted: len(ems), Cost: cost, Now: c.clk.Now(),
-			Visits: b.Len(),
-		}
-		putBatch(b)
-		var ready *flow.Batch
-		for _, em := range ems {
-			switch {
-			case em.Delay > 0:
-				em := em
-				go func() {
-					<-c.clk.After(em.Delay)
-					c.events <- eddyEvent{b: flow.BatchOf(em.T)}
-				}()
-			case c.BatchSize == 1:
-				// Tuple-at-a-time mode: every emission is its own event,
-				// exactly as the pre-batching engine sent them.
-				c.events <- eddyEvent{b: getBatchOf(em.T)}
-			default:
-				if ready == nil {
-					ready = getBatch()
-				}
-				ready.Add(em.T)
+		ems, cost := m.ProcessShard(shard, b, c.clk.Now())
+		c.finishBatch(mod, shard, b, ems, cost)
+	}
+}
+
+// finishBatch applies the shared post-service accounting of one batch:
+// sleep the service cost, adjust the in-flight counter, report policy
+// feedback, and route the emissions onward.
+func (c *Concurrent) finishBatch(mod, shard int, b *flow.Batch, ems []flow.Emission, cost clock.Duration) {
+	c.observeCost(mod, cost, b.Len())
+	c.clk.Sleep(cost)
+
+	// Account for the net dataflow change before emitting, so the
+	// counter can never dip to zero while emissions are pending.
+	delta := int64(len(ems)) - int64(b.Len())
+	outputs := countNew(b, ems)
+	if delta > 0 {
+		c.inflight.Add(delta)
+	}
+	// Batches are span-homogeneous (the eddy coalesces per span), so the
+	// first tuple's span signs the whole batch; Visits lets learners
+	// normalize the batch totals back to per-visit values.
+	fb := policy.Feedback{
+		Module: mod, Shard: shard, Sig: uint64(b.Tuples[0].Span),
+		Outputs: outputs, Emitted: len(ems), Cost: cost, Now: c.clk.Now(),
+		Visits: b.Len(),
+	}
+	putBatch(b)
+	var ready *flow.Batch
+	for _, em := range ems {
+		switch {
+		case em.Delay > 0:
+			em := em
+			go func() {
+				<-c.clk.After(em.Delay)
+				c.events <- eddyEvent{b: flow.BatchOf(em.T)}
+			}()
+		case c.BatchSize == 1:
+			// Tuple-at-a-time mode: every emission is its own event,
+			// exactly as the pre-batching engine sent them.
+			c.events <- eddyEvent{b: getBatchOf(em.T)}
+		default:
+			if ready == nil {
+				ready = getBatch()
 			}
+			ready.Add(em.T)
 		}
-		if ready != nil {
-			c.events <- eddyEvent{b: ready}
-		}
-		c.events <- eddyEvent{fb: &fb}
-		if delta < 0 {
-			if c.inflight.Add(delta) == 0 {
-				// Wake the eddy loop so it observes quiescence; Emitted -1
-				// marks it as a pure wake-up, not real feedback.
-				c.events <- eddyEvent{fb: &policy.Feedback{Module: mod, Emitted: -1}}
-			}
+	}
+	if ready != nil {
+		c.events <- eddyEvent{b: ready}
+	}
+	c.events <- eddyEvent{fb: &fb}
+	if delta < 0 {
+		if c.inflight.Add(delta) == 0 {
+			// Wake the eddy loop so it observes quiescence; Emitted -1
+			// marks it as a pure wake-up, not real feedback.
+			c.events <- eddyEvent{fb: &policy.Feedback{Module: mod, Emitted: -1}}
 		}
 	}
 }

@@ -69,6 +69,13 @@ type Options struct {
 	RetryDelay clock.Duration
 	// ProbeBounce is passed to every SteM; see stem.ProbeBounceMode.
 	ProbeBounce stem.ProbeBounceMode
+	// Shards hash-partitions every SteM into this many sub-stores (rounded
+	// up to a power of two) keyed by the table's first join column, giving
+	// the concurrent engine one worker per shard — intra-operator
+	// parallelism. 0 or 1 keeps single-store SteMs (the exact historical
+	// behaviour, and what the deterministic simulator figures assume).
+	// Tables with a custom dictionary or no join columns stay unsharded.
+	Shards int
 	// DictFor optionally overrides the dictionary implementation per table;
 	// nil entries (or a nil func) default to hash dictionaries.
 	DictFor func(table int) stem.Dict
@@ -190,6 +197,7 @@ func NewRouter(q *query.Q, opts Options) (*Router, error) {
 			Table:        t,
 			Q:            q,
 			TS:           r.counter,
+			Shards:       opts.Shards,
 			BuildCost:    r.prof.SteMBuildCost,
 			ProbeCost:    r.prof.SteMProbeCost,
 			PerMatchCost: r.prof.PerMatchCost,

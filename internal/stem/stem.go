@@ -5,6 +5,17 @@
 // SteM internally enforces the SteM BounceBack and TimeStamp constraints of
 // Table 2, so "the routing policy implementor need not be aware of them at
 // all".
+//
+// A SteM may be split into hash-partitioned shards (Config.Shards): each
+// shard owns a dictionary, a lock, and probe scratch state, partitioned by
+// the hash of the table's first join column. Builds and probes that bind
+// that column address exactly one shard, so the concurrent engine can drive
+// every shard from its own worker and their service overlaps — the
+// intra-operator parallelism the paper's "every module in its own thread"
+// setting calls for once one SteM saturates a core. Probes that do not bind
+// the partition column sweep all shards under a consistent lock set, and
+// EOT/completeness metadata is shared across shards, so sharding never
+// changes results. One shard (the default) is exactly the unsharded SteM.
 package stem
 
 import (
@@ -59,8 +70,15 @@ type Config struct {
 	// TS is the shared build-timestamp counter.
 	TS *Counter
 	// Dict is the storage structure; nil defaults to a HashDict over the
-	// table's join columns.
+	// table's join columns. A custom Dict forces a single shard (there is no
+	// way to instantiate one per shard).
 	Dict Dict
+	// Shards splits the SteM into this many hash-partitioned sub-stores,
+	// rounded up to a power of two. 0 or 1 keeps a single store (the exact
+	// historical behaviour). Tables with no join columns are never sharded —
+	// no probe could address a partition — and windowed SteMs (Window > 0)
+	// stay unsharded because window eviction order is global state.
+	Shards int
 	// BuildCost and ProbeCost are the service times charged per operation.
 	BuildCost clock.Duration
 	ProbeCost clock.Duration
@@ -72,13 +90,16 @@ type Config struct {
 	// them in batches of this size, clustered by the hash partition of the
 	// first join column — the "asynchronous" bounce-back that makes the SteM
 	// routing simulate a Grace hash join (Section 3.1). 0 bounces builds
-	// immediately (symmetric-hash behaviour).
+	// immediately (symmetric-hash behaviour). With Shards > 1 the batching
+	// is per shard — which is precisely Grace's partition-wise processing.
 	BuildBounceBatch int
 	// Window, when >0, bounds the number of stored rows; the oldest rows are
 	// evicted on overflow, supporting sliding-window continuous queries
 	// (Section 2.3 mentions [17, 5] use SteMs with eviction). Eviction
 	// invalidates completeness, so windowed SteMs never claim to hold all
-	// matches.
+	// matches. A windowed SteM is never sharded: evicting the globally
+	// oldest row is cross-shard state, and per-shard approximations would
+	// make windowed results depend on the shard count.
 	Window int
 	// Gov, when non-nil, places this SteM under a shared memory Governor
 	// (the Section 6 extension): rows beyond the SteM's allocation are
@@ -97,34 +118,97 @@ type Stats struct {
 	EOTs         uint64 // EOT tuples built in
 }
 
+// add accumulates o into s, for cross-shard aggregation.
+func (s *Stats) add(o Stats) {
+	s.Builds += o.Builds
+	s.DupBuilds += o.DupBuilds
+	s.Probes += o.Probes
+	s.Matches += o.Matches
+	s.ProbeBounces += o.ProbeBounces
+	s.Evictions += o.Evictions
+	s.EOTs += o.EOTs
+}
+
+// probeScratch is the reusable per-probe state of one synchronization
+// domain (a shard, or the sweep path): lk is the reused lookup, bindScratch
+// the reused bound-value row, catScratch recycles concatenations that failed
+// predicate verification, and predCache memoizes JoinPredsConnecting per
+// probe span. Guarded by the owning shard's mutex (or gmu for the sweep).
+type probeScratch struct {
+	lk          Lookup
+	bindScratch tuple.Row
+	catScratch  *tuple.Tuple
+	predCache   map[tuple.TableSet][]pred.P
+}
+
+// shard is one hash partition of a SteM: a dictionary with its own lock,
+// counters, Grace bounce-back buffer, and probe scratch. With one shard the
+// SteM degenerates to the historical single-store layout.
+type shard struct {
+	mu      sync.Mutex
+	dict    Dict
+	pending []*tuple.Tuple
+	stats   Stats
+	scr     probeScratch
+	// idx is this shard's position, used to salt probe-cache keys so
+	// sweep runs never serve one shard's candidate list for another's.
+	idx int
+	// self is the one-element shard list handed to probeLocked, so
+	// single-shard probes allocate no slice.
+	self [1]*shard
+}
+
+// colRef locates one column of one table.
+type colRef struct {
+	table, col int
+}
+
 // SteM is a State Module on one base table.
 type SteM struct {
 	cfg  Config
 	name string
 
-	mu      sync.Mutex
-	dict    Dict
+	// joinCols are the table's columns involved in join predicates; pcol is
+	// the partition column (joinCols[0]) and shardMask the hash mask used to
+	// pick a shard. pcolSources are the (table, column) pairs an equi-join
+	// predicate binds to pcol, precomputed so the per-tuple ShardOf never
+	// scans the predicate list. All immutable after New.
+	joinCols    []int
+	pcol        int
+	shardMask   uint64
+	pcolSources []colRef
+
+	shards []shard
+	all    []*shard // &shards[i] in order, for sweep lock acquisition
+
+	// liveRows counts stored rows across all shards, enforcing the global
+	// Window bound without cross-shard locking.
+	liveRows atomic.Int64
+
+	// gmu serializes sweep probes (probes that bind no partition column and
+	// must visit every shard) and guards their scratch and counters. Lock
+	// order is gmu before shard mutexes before eotMu; sweeps acquire every
+	// shard mutex in ascending index order.
+	gmu    sync.Mutex
+	gscr   probeScratch
+	gstats Stats
+
+	// eotMu guards the completeness metadata shared by all shards. Probes
+	// read it (complete) with shard locks held; writers never take shard
+	// locks while holding it.
+	eotMu   sync.RWMutex
 	fullEOT bool
 	// eot records, per distinct bound-column signature, the bound-value rows
 	// for which all matches have been transmitted (hash-with-verify keyed).
 	eot []eotIdx
-	// pending holds build tuples awaiting a batched bounce-back.
-	pending []*tuple.Tuple
-	// joinCols are the table's columns involved in join predicates.
-	joinCols []int
-	stats    Stats
+	// eotSeen counts per-shard deliveries of one replicated EOT tuple
+	// (flow.ShardAll), so its global record is applied exactly once, after
+	// every shard has observed it.
+	eotSeen  map[*tuple.Tuple]int
+	eotCount uint64
+
 	// govID is this SteM's membership handle in cfg.Gov (-1 when ungoverned).
 	govID int
-
-	// Per-probe scratch state, guarded by mu like the dictionary itself:
-	// lk is the reused lookup, bindScratch the reused bound-value row, and
-	// catScratch recycles concatenations that failed predicate verification,
-	// so a probe with non-qualifying candidates allocates no tuples.
-	lk          Lookup
-	bindScratch tuple.Row
-	catScratch  *tuple.Tuple
-	// predCache memoizes JoinPredsConnecting per probe span.
-	predCache map[tuple.TableSet][]pred.P
 }
 
 // eotIdx is the completeness metadata of index EOT tuples for one
@@ -138,16 +222,48 @@ type eotIdx struct {
 // New creates a SteM from a config.
 func New(cfg Config) *SteM {
 	s := &SteM{
-		cfg:       cfg,
-		name:      fmt.Sprintf("SteM(%s)", cfg.Q.Tables[cfg.Table].Name),
-		predCache: make(map[tuple.TableSet][]pred.P),
+		cfg:  cfg,
+		name: fmt.Sprintf("SteM(%s)", cfg.Q.Tables[cfg.Table].Name),
+		pcol: -1,
 	}
 	s.joinCols = JoinCols(cfg.Q, cfg.Table)
-	if cfg.Dict != nil {
-		s.dict = cfg.Dict
-	} else {
-		s.dict = NewHashDict(s.joinCols)
+
+	nsh := 1
+	if cfg.Shards > 1 && len(s.joinCols) > 0 && cfg.Dict == nil && cfg.Window == 0 {
+		for nsh < cfg.Shards {
+			nsh <<= 1
+		}
 	}
+	if nsh > 1 {
+		s.pcol = s.joinCols[0]
+		for _, p := range cfg.Q.Preds {
+			if !p.IsEquiJoin() {
+				continue
+			}
+			if p.Left.Table == cfg.Table && p.Left.Col == s.pcol {
+				s.pcolSources = append(s.pcolSources, colRef{p.Right.Table, p.Right.Col})
+			}
+			if p.Right.Table == cfg.Table && p.Right.Col == s.pcol {
+				s.pcolSources = append(s.pcolSources, colRef{p.Left.Table, p.Left.Col})
+			}
+		}
+	}
+	s.shardMask = uint64(nsh - 1)
+	s.shards = make([]shard, nsh)
+	s.all = make([]*shard, nsh)
+	for i := range s.shards {
+		sh := &s.shards[i]
+		if cfg.Dict != nil {
+			sh.dict = cfg.Dict
+		} else {
+			sh.dict = NewHashDict(s.joinCols)
+		}
+		sh.scr.predCache = make(map[tuple.TableSet][]pred.P)
+		sh.idx = i
+		sh.self[0] = sh
+		s.all[i] = sh
+	}
+	s.gscr.predCache = make(map[tuple.TableSet][]pred.P)
 	s.govID = -1
 	if cfg.Gov != nil {
 		s.govID = cfg.Gov.register()
@@ -180,72 +296,247 @@ func JoinCols(q *query.Q, t int) []int {
 // Name implements flow.Module.
 func (s *SteM) Name() string { return s.name }
 
-// Parallel implements flow.Module: a SteM is a single-server module.
-func (s *SteM) Parallel() int { return 1 }
+// Parallel implements flow.Module: each shard is a single-server partition,
+// so the SteM's service capacity is its shard count (1 when unsharded).
+func (s *SteM) Parallel() int { return len(s.shards) }
+
+// Shards implements flow.Sharded.
+func (s *SteM) Shards() int { return len(s.shards) }
 
 // Table returns the query position of the table this SteM materializes.
 func (s *SteM) Table() int { return s.cfg.Table }
 
-// Stats returns a snapshot of the SteM's counters.
+// Stats returns a snapshot of the SteM's counters, aggregated across shards.
 func (s *SteM) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats
+	var tot Stats
+	for _, sh := range s.all {
+		sh.mu.Lock()
+		tot.add(sh.stats)
+		sh.mu.Unlock()
+	}
+	s.gmu.Lock()
+	tot.add(s.gstats)
+	s.gmu.Unlock()
+	s.eotMu.RLock()
+	tot.EOTs += s.eotCount
+	s.eotMu.RUnlock()
+	return tot
 }
 
-// Size returns the number of stored rows.
+// Size returns the number of stored rows across all shards.
 func (s *SteM) Size() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.dict.Len()
+	n := 0
+	for _, sh := range s.all {
+		sh.mu.Lock()
+		n += sh.dict.Len()
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// HeldBuilds returns the number of build tuples awaiting a batched bounce.
+func (s *SteM) HeldBuilds() int {
+	n := 0
+	for _, sh := range s.all {
+		sh.mu.Lock()
+		n += len(sh.pending)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// ShardOf implements flow.Sharded: this SteM's own EOT tuples must be
+// observed by every shard; builds and probes that bind the partition column
+// address its hash shard; probes that do not bind it sweep all shards
+// (flow.ShardAny). A foreign table's EOT (never routed here by the eddy,
+// but reachable through the public Module interface) is treated as a probe
+// over the whole store, matching the single-shard dispatch.
+func (s *SteM) ShardOf(t *tuple.Tuple) int {
+	if len(s.shards) == 1 {
+		return 0
+	}
+	if t.EOT != nil {
+		if t.EOT.Table == s.cfg.Table {
+			return flow.ShardAll
+		}
+		return flow.ShardAny
+	}
+	if t.IsSingleton() && t.SingleTable() == s.cfg.Table && !t.Built.Has(s.cfg.Table) {
+		return int(t.Comp[s.cfg.Table][s.pcol].Hash64() & s.shardMask)
+	}
+	if v, ok := s.pcolBinding(t); ok {
+		return int(v.Hash64() & s.shardMask)
+	}
+	return flow.ShardAny
+}
+
+// pcolBinding derives the value the probe tuple binds to the partition
+// column via an equality join predicate; ok is false if none does. Matches
+// of such a probe all carry this value in the partition column (the equality
+// is verified on concatenation), so they live in exactly one shard.
+func (s *SteM) pcolBinding(t *tuple.Tuple) (value.V, bool) {
+	for _, src := range s.pcolSources {
+		if t.Span.Has(src.table) {
+			return t.Value(src.table, src.col), true
+		}
+	}
+	return value.V{}, false
 }
 
 // Process implements flow.Module, dispatching on the tuple's role:
 // EOT tuples and unbuilt singletons of this SteM's table are builds;
 // everything else is a probe.
 func (s *SteM) Process(t *tuple.Tuple, now clock.Time) ([]flow.Emission, clock.Duration) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.processLocked(t, nil)
+	return s.processOne(t)
 }
 
-// ProcessBatch implements flow.BatchModule: the dictionary lock is taken
-// once for the whole batch, and probes sharing a lookup key reuse one
-// candidate list (builds within the batch invalidate it, since they change
-// the dictionary). A batch of one behaves exactly like Process.
+func (s *SteM) processOne(t *tuple.Tuple) ([]flow.Emission, clock.Duration) {
+	switch sd := s.ShardOf(t); sd {
+	case flow.ShardAll:
+		// Single-call delivery (simulator / unsharded engines): apply the
+		// EOT to every shard at once.
+		return s.applyEOTAll(t), s.cfg.BuildCost
+	case flow.ShardAny:
+		return s.sweepRun([]*tuple.Tuple{t})
+	default:
+		sh := &s.shards[sd]
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+		return s.processShardLocked(sh, t, nil)
+	}
+}
+
+// ProcessBatch implements flow.BatchModule: the batch is processed in runs
+// of same-shard tuples, taking each shard's lock once per run; probes
+// sharing a lookup key within a run reuse one candidate list (builds within
+// the run invalidate it, since they change the dictionary). With one shard
+// the whole batch is one run — the lock is taken once, exactly the
+// historical behaviour — and a batch of one behaves exactly like Process.
 func (s *SteM) ProcessBatch(b *flow.Batch, now clock.Time) ([]flow.Emission, clock.Duration) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	return s.processRuns(b, -1)
+}
+
+// ProcessShard implements flow.Sharded: services a batch delivered to one
+// shard's queue. EOT copies delivered here apply this shard's flush, with
+// the global completeness record applied by whichever delivery is last.
+func (s *SteM) ProcessShard(shardIdx int, b *flow.Batch, now clock.Time) ([]flow.Emission, clock.Duration) {
+	return s.processRuns(b, shardIdx)
+}
+
+// processRuns drives a batch through shard-homogeneous runs. homeShard >= 0
+// marks per-shard delivery semantics for ShardAll tuples (flush only
+// homeShard, countdown the global record); -1 marks single-call semantics.
+func (s *SteM) processRuns(b *flow.Batch, homeShard int) ([]flow.Emission, clock.Duration) {
 	var out []flow.Emission
 	var total clock.Duration
-	var pc probeCache
-	for _, t := range b.Tuples {
-		ems, cost := s.processLocked(t, &pc)
-		out = append(out, ems...)
-		total += cost
+	i := 0
+	sd := 0
+	if len(b.Tuples) > 0 {
+		sd = s.ShardOf(b.Tuples[0])
+	}
+	for i < len(b.Tuples) {
+		// Extend the run while tuples share sd, computing each tuple's
+		// shard exactly once (the boundary tuple's shard carries over as
+		// the next run's sd).
+		j := i + 1
+		next := sd
+		for j < len(b.Tuples) {
+			if next = s.ShardOf(b.Tuples[j]); next != sd {
+				break
+			}
+			j++
+		}
+		switch sd {
+		case flow.ShardAll:
+			for _, t := range b.Tuples[i:j] {
+				var ems []flow.Emission
+				if homeShard >= 0 {
+					ems = s.applyEOTShard(homeShard, t)
+				} else {
+					ems = s.applyEOTAll(t)
+				}
+				out = append(out, ems...)
+				total += s.cfg.BuildCost
+			}
+		case flow.ShardAny:
+			ems, cost := s.sweepRun(b.Tuples[i:j])
+			out = append(out, ems...)
+			total += cost
+		default:
+			sh := &s.shards[sd]
+			sh.mu.Lock()
+			var pc probeCache
+			for _, t := range b.Tuples[i:j] {
+				ems, cost := s.processShardLocked(sh, t, &pc)
+				out = append(out, ems...)
+				total += cost
+			}
+			sh.mu.Unlock()
+		}
+		i, sd = j, next
 	}
 	return out, total
 }
 
-// processLocked serves one tuple with s.mu held. pc, when non-nil, caches
-// probe candidate lists across the tuples of one batch.
-func (s *SteM) processLocked(t *tuple.Tuple, pc *probeCache) ([]flow.Emission, clock.Duration) {
+// processShardLocked serves one tuple against one shard with sh.mu held.
+// pc, when non-nil, caches probe candidate lists across the tuples of one
+// same-shard run.
+func (s *SteM) processShardLocked(sh *shard, t *tuple.Tuple, pc *probeCache) ([]flow.Emission, clock.Duration) {
 	switch {
 	case t.EOT != nil && t.EOT.Table == s.cfg.Table:
-		return s.buildEOT(t), s.cfg.BuildCost
+		// Only reachable with a single shard (multi-shard EOTs are
+		// ShardAll): "all shards" is this one.
+		var out []flow.Emission
+		if len(t.EOT.BoundCols) == 0 && s.cfg.BuildBounceBatch > 0 {
+			out = s.flushPendingLocked(sh)
+		}
+		s.recordEOT(t)
+		return out, s.cfg.BuildCost
 	case t.IsSingleton() && t.SingleTable() == s.cfg.Table && !t.Built.Has(s.cfg.Table):
 		if pc != nil {
 			pc.invalidate()
 		}
-		return s.build(t), s.cfg.BuildCost
+		return s.build(sh, t), s.cfg.BuildCost
 	default:
-		out := s.probe(t, pc)
+		out := s.probeLocked(t, pc, &sh.scr, &sh.stats, sh.self[:])
 		cost := s.cfg.ProbeCost + clock.Duration(len(out))*s.cfg.PerMatchCost
 		if s.govID >= 0 {
 			cost += s.cfg.Gov.probePenalty(s.govID)
 		}
 		return out, cost
 	}
+}
+
+// sweepRun serves a run of probes that bind no partition column: it
+// acquires every shard's lock once for the whole run (ascending, after gmu)
+// so each probe sees one consistent snapshot of the whole SteM — exactly
+// what the unsharded SteM sees — and LastMatchTimeStamp bookkeeping stays
+// sound. The run is all probes (builds and own-table EOTs never classify
+// ShardAny; a foreign EOT arriving here is probed, as the single-shard path
+// does), so the dictionaries cannot change mid-run and one probe cache
+// serves the whole run, with entries salted by shard.
+func (s *SteM) sweepRun(ts []*tuple.Tuple) ([]flow.Emission, clock.Duration) {
+	s.gmu.Lock()
+	defer s.gmu.Unlock()
+	for _, sh := range s.all {
+		sh.mu.Lock()
+	}
+	var out []flow.Emission
+	var total clock.Duration
+	var pc probeCache
+	for _, t := range ts {
+		ems := s.probeLocked(t, &pc, &s.gscr, &s.gstats, s.all)
+		cost := s.cfg.ProbeCost + clock.Duration(len(ems))*s.cfg.PerMatchCost
+		if s.govID >= 0 {
+			cost += s.cfg.Gov.probePenalty(s.govID)
+		}
+		out = append(out, ems...)
+		total += cost
+	}
+	for _, sh := range s.all {
+		sh.mu.Unlock()
+	}
+	return out, total
 }
 
 // probeCache memoizes dictionary candidate lists by hashed lookup key within
@@ -257,8 +548,12 @@ type probeCache struct {
 	m map[uint64][]cachedCands
 }
 
-// cachedCands is one verified cache entry.
+// cachedCands is one verified cache entry. salt carries the shard index the
+// entry was computed against: sweep runs probe several dictionaries with the
+// same lookup, and one shard's candidate list must never answer for
+// another's.
 type cachedCands struct {
+	salt uint64
 	cols []int
 	vals []value.V
 	es   []Entry
@@ -266,9 +561,10 @@ type cachedCands struct {
 
 func (pc *probeCache) invalidate() { pc.m = nil }
 
-// candidates returns the dictionary candidates for lk, consulting and
-// filling the cache for keyable (pure-equality) lookups.
-func (pc *probeCache) candidates(d Dict, lk Lookup) []Entry {
+// candidates returns d's candidates for lk, consulting and filling the
+// cache for keyable (pure-equality) lookups. salt distinguishes the shard d
+// belongs to within one cache.
+func (pc *probeCache) candidates(d Dict, lk Lookup, salt uint64) []Entry {
 	if pc == nil {
 		return d.Candidates(lk)
 	}
@@ -276,8 +572,9 @@ func (pc *probeCache) candidates(d Dict, lk Lookup) []Entry {
 	if !ok {
 		return d.Candidates(lk)
 	}
+	key = value.MixUint64(key, salt)
 	for _, c := range pc.m[key] {
-		if lk.equiEqual(c.cols, c.vals) {
+		if c.salt == salt && lk.equiEqual(c.cols, c.vals) {
 			return c.es
 		}
 	}
@@ -285,9 +582,10 @@ func (pc *probeCache) candidates(d Dict, lk Lookup) []Entry {
 	if pc.m == nil {
 		pc.m = make(map[uint64][]cachedCands)
 	}
-	// The lookup's slices are per-SteM scratch reused by the next probe, so
+	// The lookup's slices are per-shard scratch reused by the next probe, so
 	// the cache keeps its own copies.
 	pc.m[key] = append(pc.m[key], cachedCands{
+		salt: salt,
 		cols: slices.Clone(lk.EquiCols),
 		vals: slices.Clone(lk.EquiVals),
 		es:   es,
@@ -295,50 +593,55 @@ func (pc *probeCache) candidates(d Dict, lk Lookup) []Entry {
 	return es
 }
 
-// build stores a singleton and bounces it back (SteM BounceBack: "a SteM
-// must bounce back a build tuple unless it is a duplicate of another tuple
-// already in the SteM").
-func (s *SteM) build(t *tuple.Tuple) []flow.Emission {
+// build stores a singleton into sh (whose mutex is held) and bounces it back
+// (SteM BounceBack: "a SteM must bounce back a build tuple unless it is a
+// duplicate of another tuple already in the SteM").
+func (s *SteM) build(sh *shard, t *tuple.Tuple) []flow.Emission {
 	row := t.Comp[s.cfg.Table]
-	if s.dict.Contains(row) {
-		s.stats.DupBuilds++
+	if sh.dict.Contains(row) {
+		sh.stats.DupBuilds++
 		return nil // duplicate from a competitive AM: consumed (Section 3.2)
 	}
 	ts := s.cfg.TS.Next()
-	s.dict.Insert(row, ts)
+	sh.dict.Insert(row, ts)
 	t.CompTS[s.cfg.Table] = ts
 	t.Built = t.Built.With(s.cfg.Table)
-	s.stats.Builds++
+	sh.stats.Builds++
+	s.liveRows.Add(1)
 	if s.govID >= 0 {
 		s.cfg.Gov.noteBuild(s.govID)
 	}
 	if s.cfg.Window > 0 {
-		for s.dict.Len() > s.cfg.Window {
-			if _, ok := s.dict.Evict(); !ok {
+		// Windowed SteMs are always single-shard (see Config.Shards), so
+		// liveRows is this dictionary's row count and the oldest live row is
+		// the globally oldest.
+		for s.liveRows.Load() > int64(s.cfg.Window) {
+			if _, ok := sh.dict.Evict(); !ok {
 				break
 			}
-			s.stats.Evictions++
+			s.liveRows.Add(-1)
+			sh.stats.Evictions++
 			if s.govID >= 0 {
 				s.cfg.Gov.noteEvict(s.govID)
 			}
 		}
 	}
 	if s.cfg.BuildBounceBatch > 0 {
-		s.pending = append(s.pending, t)
-		if len(s.pending) >= s.cfg.BuildBounceBatch {
-			return s.flushPending()
+		sh.pending = append(sh.pending, t)
+		if len(sh.pending) >= s.cfg.BuildBounceBatch {
+			return s.flushPendingLocked(sh)
 		}
 		return []flow.Emission{} // held; still in dataflow (engine tracks via pendingHold)
 	}
 	return []flow.Emission{flow.Emit(t)}
 }
 
-// flushPending releases held build bounce-backs clustered by the hash
-// partition of the first join column, modelling the I/O locality of a Grace
-// hash join's partition-at-a-time processing.
-func (s *SteM) flushPending() []flow.Emission {
-	p := s.pending
-	s.pending = nil
+// flushPendingLocked releases sh's held build bounce-backs clustered by the
+// hash partition of the first join column, modelling the I/O locality of a
+// Grace hash join's partition-at-a-time processing. sh.mu must be held.
+func (s *SteM) flushPendingLocked(sh *shard) []flow.Emission {
+	p := sh.pending
+	sh.pending = nil
 	if len(s.joinCols) > 0 {
 		c := s.joinCols[0]
 		sort.SliceStable(p, func(i, j int) bool {
@@ -354,26 +657,63 @@ func (s *SteM) flushPending() []flow.Emission {
 	return out
 }
 
-// HeldBuilds returns the number of build tuples awaiting a batched bounce.
-func (s *SteM) HeldBuilds() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.pending)
+// applyEOTAll records an End-Of-Transmission tuple in one call, on behalf of
+// every shard: "an EOT tuple from an AM on S is also routed as a build tuple
+// to SteM(S)"; it is stored (as completeness metadata) and consumed. A full
+// (scan) EOT also flushes any held batched builds, shard by shard.
+func (s *SteM) applyEOTAll(t *tuple.Tuple) []flow.Emission {
+	var out []flow.Emission
+	if len(t.EOT.BoundCols) == 0 && s.cfg.BuildBounceBatch > 0 {
+		for _, sh := range s.all {
+			sh.mu.Lock()
+			out = append(out, s.flushPendingLocked(sh)...)
+			sh.mu.Unlock()
+		}
+	}
+	s.recordEOT(t)
+	return out
 }
 
-// buildEOT records an End-Of-Transmission tuple. "An EOT tuple from an AM on
-// S is also routed as a build tuple to SteM(S)"; it is stored (as
-// completeness metadata) and consumed. A full (scan) EOT also flushes any
-// held batched builds.
-func (s *SteM) buildEOT(t *tuple.Tuple) []flow.Emission {
-	s.stats.EOTs++
+// applyEOTShard handles one per-shard delivery of a replicated EOT tuple
+// (flow.ShardAll): this shard's flush happens now; the global completeness
+// record waits for the last shard's delivery, guaranteeing every build
+// queued ahead of the EOT in any shard has been stored before the SteM
+// claims completeness.
+func (s *SteM) applyEOTShard(shardIdx int, t *tuple.Tuple) []flow.Emission {
+	var out []flow.Emission
+	if len(t.EOT.BoundCols) == 0 && s.cfg.BuildBounceBatch > 0 {
+		sh := &s.shards[shardIdx]
+		sh.mu.Lock()
+		out = s.flushPendingLocked(sh)
+		sh.mu.Unlock()
+	}
+	s.eotMu.Lock()
+	if s.eotSeen == nil {
+		s.eotSeen = make(map[*tuple.Tuple]int)
+	}
+	s.eotSeen[t]++
+	last := s.eotSeen[t] == len(s.shards)
+	if last {
+		delete(s.eotSeen, t)
+	}
+	s.eotMu.Unlock()
+	if last {
+		s.recordEOT(t)
+	}
+	return out
+}
+
+// recordEOT applies an EOT tuple's global effect: a full EOT marks the SteM
+// complete; an index EOT records its bound-value row in the completeness
+// index for its bound-column signature.
+func (s *SteM) recordEOT(t *tuple.Tuple) {
+	s.eotMu.Lock()
+	defer s.eotMu.Unlock()
+	s.eotCount++
 	info := t.EOT
 	if len(info.BoundCols) == 0 {
 		s.fullEOT = true
-		if s.cfg.BuildBounceBatch > 0 {
-			return s.flushPending()
-		}
-		return nil
+		return
 	}
 	idx := s.eotIdxFor(info.BoundCols)
 	row := t.Comp[s.cfg.Table]
@@ -384,16 +724,16 @@ func (s *SteM) buildEOT(t *tuple.Tuple) []flow.Emission {
 	h := bound.Hash64()
 	for _, r := range idx.keys[h] {
 		if r.Equal(bound) {
-			return nil // already recorded
+			return // already recorded
 		}
 	}
 	idx.keys[h] = append(idx.keys[h], bound)
-	return nil
 }
 
 // eotIdxFor returns (creating on first use) the completeness index for one
 // bound-column signature. The signature list is tiny — one entry per
 // distinct index key shape — so a linear scan beats any map keying.
+// s.eotMu must be held for writing.
 func (s *SteM) eotIdxFor(cols []int) *eotIdx {
 	for i := range s.eot {
 		if slices.Equal(s.eot[i].cols, cols) {
@@ -407,45 +747,59 @@ func (s *SteM) eotIdxFor(cols []int) *eotIdx {
 	return &s.eot[len(s.eot)-1]
 }
 
-// probe finds matches for t among stored rows, concatenates them (verifying
-// every newly applicable predicate and enforcing the TimeStamp rule), and
-// decides whether to bounce t back per the SteM BounceBack constraint.
-func (s *SteM) probe(t *tuple.Tuple, pc *probeCache) []flow.Emission {
-	s.stats.Probes++
-	preds, ok := s.predCache[t.Span]
+// probeLocked finds matches for t among the rows stored in held (whose
+// mutexes the caller holds), concatenates them (verifying every newly
+// applicable predicate and enforcing the TimeStamp rule), and decides
+// whether to bounce t back per the SteM BounceBack constraint. scr and
+// stats belong to the same synchronization domain as held.
+func (s *SteM) probeLocked(t *tuple.Tuple, pc *probeCache, scr *probeScratch, stats *Stats, held []*shard) []flow.Emission {
+	stats.Probes++
+	preds, ok := scr.predCache[t.Span]
 	if !ok {
 		preds = s.cfg.Q.JoinPredsConnecting(t.Span, s.cfg.Table)
-		s.predCache[t.Span] = preds
+		scr.predCache[t.Span] = preds
 	}
-	lookupInto(&s.lk, t, s.cfg.Table, preds)
+	lookupInto(&scr.lk, t, s.cfg.Table, preds)
 	probeTS := t.TS()
 	lastMatch := t.LastMatchTS
 
 	var out []flow.Emission
-	for _, e := range pc.candidates(s.dict, s.lk) {
-		// TimeStamp constraint: result returned iff ts(probe) > ts(match);
-		// LastMatchTimeStamp guards repeated probes (§3.5).
-		if e.TS >= probeTS || e.TS <= lastMatch {
-			continue
+	for _, sh := range held {
+		for _, e := range pc.candidates(sh.dict, scr.lk, uint64(sh.idx)) {
+			// TimeStamp constraint: result returned iff ts(probe) > ts(match);
+			// LastMatchTimeStamp guards repeated probes (§3.5).
+			if e.TS >= probeTS || e.TS <= lastMatch {
+				continue
+			}
+			// Concatenate the stored row directly (no singleton
+			// materialization), recycling the component slices of failed
+			// concatenations.
+			cat := t.ConcatRowInto(scr.catScratch, s.cfg.Table, e.Row, e.TS)
+			if !s.verify(cat) {
+				scr.catScratch = cat
+				continue
+			}
+			scr.catScratch = nil
+			stats.Matches++
+			out = append(out, flow.Emit(cat))
 		}
-		// Concatenate the stored row directly (no singleton materialization),
-		// recycling the component slices of failed concatenations.
-		cat := t.ConcatRowInto(s.catScratch, s.cfg.Table, e.Row, e.TS)
-		if !s.verify(cat) {
-			s.catScratch = cat
-			continue
-		}
-		s.catScratch = nil
-		s.stats.Matches++
-		out = append(out, flow.Emit(cat))
 	}
 
 	t.LastProbeMatches = len(out)
-	if s.shouldBounce(t) {
+	if s.shouldBounce(t, scr) {
 		t.PriorProber = true
 		t.ProbeTable = s.cfg.Table
-		t.LastMatchTS = s.dict.MaxTS()
-		s.stats.ProbeBounces++
+		// The highest timestamp this probe can have observed: matches for a
+		// partition-bound probe all live in its home shard, so a sweep over
+		// held covers every row the re-probe may legally skip.
+		var maxTS tuple.Timestamp
+		for _, sh := range held {
+			if m := sh.dict.MaxTS(); m > maxTS {
+				maxTS = m
+			}
+		}
+		t.LastMatchTS = maxTS
+		stats.ProbeBounces++
 		out = append(out, flow.Emit(t))
 	}
 	return out
@@ -471,8 +825,8 @@ func (s *SteM) verify(cat *tuple.Tuple) bool {
 
 // shouldBounce implements the SteM BounceBack rule for probes (Table 2),
 // plus the BounceIfIndexAM extension of Section 4.1.
-func (s *SteM) shouldBounce(t *tuple.Tuple) bool {
-	if s.complete(t) {
+func (s *SteM) shouldBounce(t *tuple.Tuple, scr *probeScratch) bool {
+	if s.complete(t, scr) {
 		return false // the SteM provably holds all matches: consume.
 	}
 	q := s.cfg.Q
@@ -489,16 +843,18 @@ func (s *SteM) shouldBounce(t *tuple.Tuple) bool {
 // complete reports whether the SteM provably contains all matches for probe
 // t: a scan EOT has arrived, or an index EOT covering t's bind values is
 // stored (the "cache on index lookups" role of Section 3.3).
-func (s *SteM) complete(t *tuple.Tuple) bool {
+func (s *SteM) complete(t *tuple.Tuple, scr *probeScratch) bool {
 	if s.cfg.Window > 0 {
 		return false
 	}
+	s.eotMu.RLock()
+	defer s.eotMu.RUnlock()
 	if s.fullEOT {
 		return true
 	}
 	for i := range s.eot {
 		idx := &s.eot[i]
-		bound, ok := s.bindCols(t, idx.cols)
+		bound, ok := s.bindCols(t, idx.cols, scr)
 		if !ok {
 			continue
 		}
@@ -513,11 +869,11 @@ func (s *SteM) complete(t *tuple.Tuple) bool {
 }
 
 // bindCols derives the values of the given columns of this SteM's table from
-// probe t via equality join predicates, into the SteM's reused scratch row;
-// ok is false if any column is unbound. The returned row is only valid until
-// the next bindCols call.
-func (s *SteM) bindCols(t *tuple.Tuple, cols []int) (tuple.Row, bool) {
-	row := s.bindScratch[:0]
+// probe t via equality join predicates, into scr's reused scratch row; ok is
+// false if any column is unbound. The returned row is only valid until the
+// next bindCols call on the same scratch.
+func (s *SteM) bindCols(t *tuple.Tuple, cols []int, scr *probeScratch) (tuple.Row, bool) {
+	row := scr.bindScratch[:0]
 	for _, c := range cols {
 		found := false
 		for _, p := range s.cfg.Q.Preds {
@@ -536,10 +892,10 @@ func (s *SteM) bindCols(t *tuple.Tuple, cols []int) (tuple.Row, bool) {
 			}
 		}
 		if !found {
-			s.bindScratch = row[:0]
+			scr.bindScratch = row[:0]
 			return nil, false
 		}
 	}
-	s.bindScratch = row[:0]
+	scr.bindScratch = row[:0]
 	return row, true
 }

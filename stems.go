@@ -105,6 +105,16 @@ type Options struct {
 	// dataflow. The simulation engine always runs batches of one (it is the
 	// deterministic reference) and ignores this option.
 	BatchSize int
+	// Shards hash-partitions every SteM into this many independent
+	// sub-stores (rounded up to a power of two), each with its own
+	// dictionary and lock; the Concurrent engine gives each shard its own
+	// worker so builds and probes on different shards of one SteM proceed
+	// fully in parallel. 0 or 1 keeps single-store SteMs — the exact
+	// historical behaviour, which the simulator's figure reproductions
+	// assume. Results are identical at any shard count; only scheduling
+	// changes. Windowed tables (see Window) stay unsharded: window eviction
+	// order is global state.
+	Shards int
 	// BounceForIndexChoice makes SteMs on tables with index AMs bounce
 	// incomplete probes so the eddy can hybridize index and hash joins
 	// (Section 4.3).
@@ -450,7 +460,7 @@ func (q *Query) Run(opts Options) (*Result, error) {
 	default:
 		pol = policy.NewBenefitCost(seed)
 	}
-	ropts := eddy.Options{Policy: pol}
+	ropts := eddy.Options{Policy: pol, Shards: opts.Shards}
 	if opts.BounceForIndexChoice {
 		ropts.ProbeBounce = stem.BounceIfIndexAM
 	}
