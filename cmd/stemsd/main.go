@@ -1,0 +1,118 @@
+// Command stemsd is the long-lived SteM query server: it keeps a shared
+// catalog of CSV-backed tables (loaded at startup via -t and at run time
+// via REGISTER TABLE statements) and serves SQL over HTTP/JSON, streaming
+// result rows as NDJSON while the eddy routes.
+//
+// Start it and query it:
+//
+//	stemsd -addr :8080 -t people=people.csv -t orders=orders.csv
+//
+//	curl -s localhost:8080/query -d '{"sql":
+//	  "SELECT people.name, orders.total FROM people, orders
+//	   WHERE people.id = orders.person"}'
+//
+//	curl -s localhost:8080/query \
+//	  -d '{"sql":"REGISTER TABLE items FROM '\''items.csv'\'' INDEX id LATENCY 50ms"}'
+//
+// Admission control bounds concurrent queries (-max-inflight) and the wait
+// queue (-queue); per-query deadlines default to -deadline and are capped
+// at -max-deadline. /healthz reports liveness, /metrics exposes
+// Prometheus-style counters. SIGINT/SIGTERM drains: in-flight queries get
+// -drain to finish, stragglers are canceled (cancellation stops the eddy's
+// routing, it does not abandon goroutines), and the process exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/eddy"
+	"repro/internal/server"
+)
+
+type repeatable []string
+
+func (r *repeatable) String() string     { return strings.Join(*r, ",") }
+func (r *repeatable) Set(v string) error { *r = append(*r, v); return nil }
+
+func main() {
+	var tables, indexes repeatable
+	addr := flag.String("addr", ":8080", "listen address")
+	flag.Var(&tables, "t", "table as name=path.csv (repeatable)")
+	flag.Var(&indexes, "index", "index access method as table:column:latency (repeatable)")
+	dataDir := flag.String("data-dir", ".", "confine REGISTER TABLE statement paths to this directory; -t flag paths are exempt (operator input). Empty disables confinement — do not expose such a server to untrusted clients")
+	scanInterval := flag.Duration("scan-interval", time.Microsecond, "virtual inter-arrival pacing of table scans")
+	policyName := flag.String("policy", "benefitcost", "default routing policy: fixed, lottery, benefitcost")
+	seed := flag.Int64("seed", 1, "seed for randomized policies")
+	batch := flag.Int("batch", eddy.DefaultBatchSize, "default eddy batch size for the concurrent engine")
+	shards := flag.Int("shards", 1, "default SteM shard count")
+	compression := flag.Float64("compression", 0.001, "concurrent engine clock compression (1 = real time)")
+	maxInflight := flag.Int("max-inflight", 8, "maximum concurrently executing queries")
+	queueDepth := flag.Int("queue", 16, "admission queue depth beyond -max-inflight; 0 rejects immediately at capacity")
+	deadline := flag.Duration("deadline", 30*time.Second, "default per-query deadline")
+	maxDeadline := flag.Duration("max-deadline", 5*time.Minute, "cap on client-requested deadlines")
+	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain window for in-flight queries")
+	flag.Parse()
+
+	cat := server.NewCatalog(*scanInterval, *dataDir)
+	if err := cat.LoadFlagSpecs(tables, indexes); err != nil {
+		fmt.Fprintf(os.Stderr, "stemsd: %v\n", err)
+		os.Exit(1)
+	}
+
+	srv := server.New(cat, server.Config{
+		MaxInFlight:     *maxInflight,
+		QueueDepth:      *queueDepth,
+		DefaultDeadline: *deadline,
+		MaxDeadline:     *maxDeadline,
+		Policy:          *policyName,
+		Seed:            *seed,
+		BatchSize:       *batch,
+		Shards:          *shards,
+		TimeCompression: *compression,
+	})
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("stemsd: serving on %s with %d tables %v", *addr, cat.Len(), cat.Tables())
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigCh:
+		log.Printf("stemsd: %v — draining (up to %v)", sig, *drain)
+	case err := <-errCh:
+		log.Fatalf("stemsd: %v", err)
+	}
+
+	// Drain: the server rejects new queries, lets running ones finish
+	// within the window, then cancels the rest; the HTTP shutdown waits for
+	// the same handlers, so both complete together.
+	done := make(chan struct{})
+	go func() {
+		srv.Shutdown(*drain)
+		close(done)
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), *drain+5*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("stemsd: http shutdown: %v", err)
+	}
+	<-done
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("stemsd: %v", err)
+	}
+	log.Print("stemsd: drained, bye")
+}

@@ -6,9 +6,14 @@
 //	stemsql -t people=people.csv -t orders=orders.csv \
 //	        -q "SELECT people.name, orders.total FROM people, orders WHERE people.id = orders.person AND orders.total >= 100"
 //
-// Without -q, stemsql reads statements from stdin (one per line; blank line
-// or EOF exits). Each source gets a scan access method by default; declare
-// an extra asynchronous index with -index table:column:latency, e.g.
+// Without -q, stemsql reads statements from stdin. Statements end with ';'
+// and may span lines; a blank line is ignored, and the REPL quits on EOF or
+// a lone \q. Tables can be added at run time with
+//
+//	stemsql> REGISTER TABLE items FROM 'items.csv' INDEX id LATENCY 50ms;
+//
+// Each source gets a scan access method by default; declare an extra
+// asynchronous index with -index table:column:latency, e.g.
 // -index people:id:200ms, and pick a routing policy with -policy.
 //
 // -engine selects the executor: sim (default) is the deterministic
@@ -26,11 +31,9 @@ import (
 	"strings"
 	"time"
 
-	"repro/internal/clock"
-	"repro/internal/csvload"
 	"repro/internal/eddy"
 	"repro/internal/policy"
-	"repro/internal/source"
+	"repro/internal/server"
 	"repro/internal/sql"
 	"repro/internal/trace"
 	"repro/internal/tuple"
@@ -56,16 +59,11 @@ func main() {
 	explain := flag.Bool("explain", false, "print a per-module adaptive-execution report after the results")
 	flag.Parse()
 
-	cat, err := loadCatalog(tables, indexes, *scanInterval)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+	cat := server.NewCatalog(*scanInterval, "")
+	if err := cat.LoadFlagSpecs(tables, indexes); err != nil {
+		fmt.Fprintf(os.Stderr, "stemsql: %v\n", err)
 		os.Exit(1)
 	}
-	if len(cat) == 0 {
-		fmt.Fprintln(os.Stderr, "stemsql: no sources; use -t name=path.csv")
-		os.Exit(1)
-	}
-
 	runOne := func(stmt string) bool {
 		if err := run(stmt, cat, *policyName, *engineName, *batch, *shards, *seed, *timing, *explain); err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -75,86 +73,102 @@ func main() {
 	}
 
 	if *q != "" {
-		if !runOne(*q) {
+		if !runOne(strings.TrimSuffix(strings.TrimSpace(*q), ";")) {
 			os.Exit(1)
 		}
 		return
 	}
-	sc := bufio.NewScanner(os.Stdin)
-	fmt.Print("stemsql> ")
+	repl(os.Stdin, runOne)
+}
+
+// repl reads ';'-terminated statements (possibly spanning lines) until EOF
+// or a lone \q. Terminators are recognized only outside single-quoted
+// strings, several statements may share a line, blank lines re-prompt
+// instead of quitting, and a statement still buffered at EOF runs without
+// its terminator — piped single statements work with or without ';'.
+func repl(in *os.File, runOne func(string) bool) {
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	var buf strings.Builder
+	prompt := func() {
+		if buf.Len() == 0 {
+			fmt.Print("stemsql> ")
+		} else {
+			fmt.Print("    ...> ")
+		}
+	}
+	prompt()
 	for sc.Scan() {
-		line := strings.TrimSpace(strings.TrimSuffix(sc.Text(), ";"))
-		if line == "" {
-			break
+		line := strings.TrimSpace(sc.Text())
+		if buf.Len() == 0 && (line == `\q` || line == "quit" || line == "exit") {
+			return
 		}
-		runOne(line)
-		fmt.Print("stemsql> ")
+		if line != "" {
+			if buf.Len() > 0 {
+				buf.WriteByte('\n')
+			}
+			buf.WriteString(line)
+		}
+		complete, rest := splitStatements(buf.String())
+		buf.Reset()
+		buf.WriteString(rest)
+		for _, stmt := range complete {
+			if stmt = strings.TrimSpace(stmt); stmt != "" {
+				runOne(stmt)
+			}
+		}
+		prompt()
+	}
+	fmt.Println()
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "stemsql: reading input: %v\n", err)
+		return
+	}
+	if stmt := strings.TrimSpace(buf.String()); stmt != "" {
+		runOne(stmt)
 	}
 }
 
-func loadCatalog(tables, indexes tableFlags, scanInterval time.Duration) (sql.MapCatalog, error) {
-	cat := sql.MapCatalog{}
-	for _, spec := range tables {
-		name, path, ok := strings.Cut(spec, "=")
-		if !ok {
-			return nil, fmt.Errorf("stemsql: bad -t %q (want name=path.csv)", spec)
+// splitStatements splits buffered input on ';' terminators that sit
+// outside single-quoted strings (where ” is the escape, so the simple
+// quote toggle is exact); rest is the trailing unterminated remainder.
+func splitStatements(s string) (complete []string, rest string) {
+	start := 0
+	inStr := false
+	for i := 0; i < len(s); i++ {
+		switch {
+		case s[i] == '\'':
+			inStr = !inStr
+		case s[i] == ';' && !inStr:
+			complete = append(complete, s[start:i])
+			start = i + 1
 		}
-		f, err := os.Open(path)
-		if err != nil {
-			return nil, fmt.Errorf("stemsql: %w", err)
-		}
-		data, err := csvload.Load(name, f)
-		f.Close()
-		if err != nil {
-			return nil, err
-		}
-		scan := source.ScanSpec{InterArrival: clock.Duration(scanInterval)}
-		cat[name] = sql.Source{Data: data, Scan: &scan}
 	}
-	for _, spec := range indexes {
-		parts := strings.Split(spec, ":")
-		if len(parts) != 3 {
-			return nil, fmt.Errorf("stemsql: bad -index %q (want table:column:latency)", spec)
-		}
-		src, ok := cat[parts[0]]
-		if !ok {
-			return nil, fmt.Errorf("stemsql: -index references unknown table %q", parts[0])
-		}
-		col := src.Data.Schema.ColIndex(parts[1])
-		if col < 0 {
-			return nil, fmt.Errorf("stemsql: -index references unknown column %q of %q", parts[1], parts[0])
-		}
-		lat, err := time.ParseDuration(parts[2])
-		if err != nil {
-			return nil, fmt.Errorf("stemsql: -index latency: %w", err)
-		}
-		src.Indexes = append(src.Indexes, source.IndexSpec{
-			KeyCols: []int{col}, Latency: clock.Duration(lat), Parallel: 1,
-		})
-		cat[parts[0]] = src
-	}
-	return cat, nil
+	return complete, strings.TrimLeft(s[start:], " \t\n")
 }
 
-func run(stmtSrc string, cat sql.MapCatalog, policyName, engineName string, batch, shards int, seed int64, timing, explain bool) error {
-	stmt, err := sql.Parse(stmtSrc)
+func run(stmtSrc string, cat *server.Catalog, policyName, engineName string, batch, shards int, seed int64, timing, explain bool) error {
+	parsed, err := sql.ParseStatement(stmtSrc)
 	if err != nil {
 		return err
 	}
-	bound, err := sql.Bind(stmt, cat)
+	stmt, ok := parsed.(*sql.Stmt)
+	if !ok {
+		reg := parsed.(*sql.RegisterStmt)
+		rows, err := cat.Apply(reg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("-- registered table %s (%d rows)\n", reg.Name, rows)
+		return nil
+	}
+	bound, err := sql.Bind(stmt, cat.Snapshot())
 	if err != nil {
 		return err
 	}
-	var pol policy.Policy
-	switch policyName {
-	case "fixed":
-		pol = policy.NewFixed()
-	case "lottery":
-		pol = policy.NewLottery(seed)
-	case "benefitcost":
-		pol = policy.NewBenefitCost(seed)
-	default:
-		return fmt.Errorf("stemsql: unknown policy %q", policyName)
+	pol, err := policy.ByName(policyName, seed)
+	if err != nil {
+		return fmt.Errorf("stemsql: %w", err)
 	}
 	r, err := eddy.NewRouter(bound.Q, eddy.Options{Policy: pol, Shards: shards})
 	if err != nil {

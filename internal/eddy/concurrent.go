@@ -26,6 +26,7 @@
 package eddy
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -95,7 +96,11 @@ func (b *inbox) pop() (*flow.Batch, bool) {
 	for len(b.items) == 0 && !b.closed {
 		b.cond.Wait()
 	}
-	if len(b.items) == 0 {
+	// Closed means the run is over (quiescent, timed out, or canceled):
+	// drop any backlog rather than service it, so cancellation stops
+	// workers promptly. On the quiescent path the queues are necessarily
+	// empty (queued tuples are counted in the in-flight counter).
+	if b.closed {
 		return nil, false
 	}
 	batch := b.items[0]
@@ -154,6 +159,15 @@ type Concurrent struct {
 	WallTimeout time.Duration
 
 	events chan eddyEvent
+	// done is closed when the run winds down (quiescence, timeout, or
+	// cancellation); delay-timer goroutines select on it so a canceled run
+	// never waits out pending virtual sleeps.
+	done chan struct{}
+	// senders tracks every goroutine that may still send on events other
+	// than the module workers (the seeder and the delay timers); shutdown
+	// waits for them before closing the channel so the drainer can exit and
+	// the run leaves zero goroutines behind.
+	senders sync.WaitGroup
 	// inboxes is indexed [module][shard]; unsharded modules have exactly one
 	// inbox that all their workers share.
 	inboxes [][]*inbox
@@ -200,6 +214,7 @@ func NewConcurrent(r Routing, clk clock.Clock) *Concurrent {
 		r:        r,
 		clk:      clk,
 		events:   make(chan eddyEvent, 1024),
+		done:     make(chan struct{}),
 		costEWMA: make([]atomic.Int64, len(r.Modules())),
 	}
 }
@@ -222,7 +237,14 @@ func (c *Concurrent) Backlog(mod int) clock.Duration {
 
 // Run executes the query to completion and returns the results in output
 // order. It is safe to call once.
-func (c *Concurrent) Run() ([]Output, error) {
+func (c *Concurrent) Run() ([]Output, error) { return c.RunContext(context.Background()) }
+
+// RunContext is Run under a cancellation context: when ctx is canceled (a
+// per-query deadline, a disconnected client, a server shutting down) the
+// eddy stops routing, the module workers stop, and the call returns the
+// results produced so far plus an error wrapping ctx.Err(). Every goroutine
+// the run started has exited by the time RunContext returns.
+func (c *Concurrent) RunContext(ctx context.Context) ([]Output, error) {
 	if c.BatchSize <= 0 {
 		c.BatchSize = DefaultBatchSize
 	}
@@ -270,9 +292,15 @@ func (c *Concurrent) Run() ([]Output, error) {
 	seeds := c.r.Seeds()
 	c.inflight.Store(int64(len(seeds)))
 	if len(seeds) > 0 {
+		c.senders.Add(1)
 		go func() {
+			defer c.senders.Done()
 			for _, s := range seeds {
-				c.events <- eddyEvent{b: getBatchOf(s)}
+				select {
+				case c.events <- eddyEvent{b: getBatchOf(s)}:
+				case <-c.done:
+					return
+				}
 			}
 		}()
 
@@ -282,12 +310,23 @@ func (c *Concurrent) Run() ([]Output, error) {
 			defer tm.Stop()
 			timeout = tm.C
 		}
+		// Background's Done channel is nil, so an un-cancelable run blocks
+		// on this case forever — exactly the pre-context behavior.
+		cancelCh := ctx.Done()
 
 		timedOut := func() {
 			c.errOnce.Do(func() {
 				c.mu.Lock()
 				c.err = fmt.Errorf("eddy: wall timeout after %v with %d tuples in flight",
 					c.WallTimeout, c.inflight.Load())
+				c.mu.Unlock()
+			})
+		}
+		canceled := func() {
+			c.errOnce.Do(func() {
+				c.mu.Lock()
+				c.err = fmt.Errorf("eddy: run canceled with %d tuples in flight: %w",
+					c.inflight.Load(), ctx.Err())
 				c.mu.Unlock()
 			})
 		}
@@ -307,6 +346,9 @@ func (c *Concurrent) Run() ([]Output, error) {
 				// starve the watchdog.
 				timedOut()
 				break loop
+			case <-cancelCh:
+				canceled()
+				break loop
 			default:
 				// Nothing immediately pending: route what is staged, then
 				// release the coalescing buffers before blocking, so the
@@ -321,6 +363,9 @@ func (c *Concurrent) Run() ([]Output, error) {
 				case ev = <-c.events:
 				case <-timeout:
 					timedOut()
+					break loop
+				case <-cancelCh:
+					canceled()
 					break loop
 				}
 			}
@@ -345,20 +390,29 @@ func (c *Concurrent) Run() ([]Output, error) {
 		}
 	}
 
-	// Quiescent (or timed out): unblock and stop the workers. A drainer
-	// absorbs anything still in flight — feedback from draining workers
-	// and, on the timeout path, stragglers from the seeder and delayed
-	// emissions — so the channel is intentionally never closed.
+	// Quiescent, timed out, or canceled: wind the dataflow down without
+	// leaking a single goroutine. A drainer absorbs events still in flight
+	// (feedback from draining workers; stragglers from the seeder and
+	// delayed emissions); closing done releases the delay timers, closing
+	// the inboxes releases the workers. Once the workers and the tracked
+	// senders have exited nothing can send anymore, so the events channel
+	// closes and the drainer itself terminates before we return.
+	drained := make(chan struct{})
 	go func() {
 		for range c.events {
 		}
+		close(drained)
 	}()
+	close(c.done)
 	for _, boxes := range c.inboxes {
 		for _, b := range boxes {
 			b.close()
 		}
 	}
 	wg.Wait()
+	c.senders.Wait()
+	close(c.events)
+	<-drained
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.outputs, c.err
@@ -400,9 +454,14 @@ func (c *Concurrent) routeStaged() {
 			c.inflight.Add(-1)
 		case d.Delay > 0:
 			mod, delay, dt := d.Module, d.Delay, t
+			c.senders.Add(1)
 			go func() {
-				<-c.clk.After(delay)
-				c.deliverDirect(mod, dt)
+				defer c.senders.Done()
+				select {
+				case <-c.clk.After(delay):
+					c.deliverDirect(mod, dt)
+				case <-c.done:
+				}
 			}()
 		default:
 			c.enqueue(d.Module, t)
@@ -552,7 +611,14 @@ func (c *Concurrent) shardWorker(mod, shard int, wg *sync.WaitGroup) {
 // feedback, and route the emissions onward.
 func (c *Concurrent) finishBatch(mod, shard int, b *flow.Batch, ems []flow.Emission, cost clock.Duration) {
 	c.observeCost(mod, cost, b.Len())
-	c.clk.Sleep(cost)
+	// The modeled service cost elapses interruptibly: a canceled run must
+	// not wait out the remaining sleep (at compression 1 it is real time).
+	if cost > 0 {
+		select {
+		case <-c.clk.After(cost):
+		case <-c.done:
+		}
+	}
 
 	// Account for the net dataflow change before emitting, so the
 	// counter can never dip to zero while emissions are pending.
@@ -575,9 +641,17 @@ func (c *Concurrent) finishBatch(mod, shard int, b *flow.Batch, ems []flow.Emiss
 		switch {
 		case em.Delay > 0:
 			em := em
+			c.senders.Add(1)
 			go func() {
-				<-c.clk.After(em.Delay)
-				c.events <- eddyEvent{b: flow.BatchOf(em.T)}
+				defer c.senders.Done()
+				select {
+				case <-c.clk.After(em.Delay):
+					select {
+					case c.events <- eddyEvent{b: flow.BatchOf(em.T)}:
+					case <-c.done:
+					}
+				case <-c.done:
+				}
 			}()
 		case c.BatchSize == 1:
 			// Tuple-at-a-time mode: every emission is its own event,

@@ -7,6 +7,7 @@ package eddy
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 
 	"repro/internal/clock"
@@ -111,6 +112,11 @@ type Sim struct {
 	Deadline clock.Time
 	// MaxEvents guards against runaway routing loops; 0 defaults to 50M.
 	MaxEvents uint64
+	// Ctx, when non-nil, cancels the run: the event loop polls it every few
+	// hundred events and returns the results so far plus Ctx.Err(). Left
+	// nil (the default) the loop is untouched, so the deterministic figure
+	// reproductions are bit-identical.
+	Ctx context.Context
 
 	// OnOutput is called for each result tuple.
 	OnOutput func(t *tuple.Tuple, at clock.Time)
@@ -192,6 +198,13 @@ func (s *Sim) Run() ([]Output, error) {
 		s.events++
 		if s.events > max {
 			return nil, fmt.Errorf("eddy: exceeded %d events — runaway routing loop?", max)
+		}
+		if s.Ctx != nil && s.events&255 == 0 {
+			select {
+			case <-s.Ctx.Done():
+				return s.outputs, fmt.Errorf("eddy: run canceled after %d events: %w", s.events, s.Ctx.Err())
+			default:
+			}
 		}
 		switch e.kind {
 		case evArrive:

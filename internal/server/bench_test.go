@@ -1,0 +1,43 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// BenchmarkServerConcurrentSessions measures end-to-end serving throughput:
+// many sessions each POSTing the 3-way join over HTTP and draining the
+// NDJSON stream. One op is one complete query round trip.
+func BenchmarkServerConcurrentSessions(b *testing.B) {
+	cat := memCatalog(b, time.Microsecond)
+	srv := New(cat, Config{MaxInFlight: runtime.GOMAXPROCS(0) * 2, QueueDepth: 1024})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := ts.Client()
+	client.Transport.(*http.Transport).MaxIdleConnsPerHost = 256
+	defer client.CloseIdleConnections()
+
+	var sid atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		session := fmt.Sprintf("bench-%d", sid.Add(1))
+		for pb.Next() {
+			res := postQuery(b, client, ts.URL, map[string]any{
+				"sql":     threeWayJoin,
+				"session": session,
+			})
+			if res.status != http.StatusOK || len(res.rows) != 5 {
+				b.Errorf("status=%d rows=%d err=%q", res.status, len(res.rows), res.errLine)
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	srv.Shutdown(time.Second)
+}

@@ -1,0 +1,216 @@
+// catalog.go is the serving layer's shared table catalog: a mutable,
+// RWMutex-guarded name→source map that every session binds queries against.
+// Sources are immutable once registered (registration replaces the whole
+// entry), so queries that bound against an old version keep running on it
+// safely while new queries see the replacement — the same copy-on-publish
+// discipline a production catalog needs under concurrent DDL and DML.
+package server
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/csvload"
+	"repro/internal/source"
+	"repro/internal/sql"
+)
+
+// Catalog is a concurrency-safe, mutable catalog of registered tables. It
+// implements sql.Catalog, so statements bind against it directly; Snapshot
+// returns an immutable view when a multi-lookup bind must see one version.
+type Catalog struct {
+	mu      sync.RWMutex
+	sources map[string]sql.Source
+
+	// scanInterval is the modeled inter-arrival pacing given to the scan
+	// access method of every registered table.
+	scanInterval clock.Duration
+	// dir, when non-empty, confines REGISTER paths: relative paths resolve
+	// under it and escaping it (.. or absolute paths) is an error.
+	dir string
+}
+
+// NewCatalog returns an empty catalog. scanInterval paces the scan access
+// method of registered tables; dir, when non-empty, is the directory
+// REGISTER statement paths are confined to.
+func NewCatalog(scanInterval time.Duration, dir string) *Catalog {
+	return &Catalog{
+		sources:      make(map[string]sql.Source),
+		scanInterval: clock.Duration(scanInterval),
+		dir:          dir,
+	}
+}
+
+// Source implements sql.Catalog.
+func (c *Catalog) Source(name string) (sql.Source, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	s, ok := c.sources[name]
+	return s, ok
+}
+
+// Snapshot returns an immutable copy of the catalog for binding: every
+// lookup during one bind sees the same version regardless of concurrent
+// registrations. The copy shares the (immutable) source tables.
+func (c *Catalog) Snapshot() sql.MapCatalog {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make(sql.MapCatalog, len(c.sources))
+	for k, v := range c.sources {
+		out[k] = v
+	}
+	return out
+}
+
+// Tables returns the registered table names, sorted.
+func (c *Catalog) Tables() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.sources))
+	for k := range c.sources {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of registered tables.
+func (c *Catalog) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.sources)
+}
+
+// Put registers (or replaces) a source under the given name.
+func (c *Catalog) Put(name string, s sql.Source) {
+	c.mu.Lock()
+	c.sources[name] = s
+	c.mu.Unlock()
+}
+
+// open applies the catalog's data-directory confinement: with a dir set,
+// paths open through an os.Root, which rejects absolute paths and blocks
+// every escape — `..` traversal and symlinks pointing outside alike — at
+// the OS level, not lexically.
+func (c *Catalog) open(path string) (*os.File, error) {
+	if c.dir == "" {
+		return os.Open(path)
+	}
+	if filepath.IsAbs(path) {
+		return nil, fmt.Errorf("absolute path %q not allowed (data dir is %q)", path, c.dir)
+	}
+	root, err := os.OpenRoot(c.dir)
+	if err != nil {
+		return nil, err
+	}
+	defer root.Close()
+	return root.Open(path)
+}
+
+// RegisterCSV loads the CSV at path — confined to the data dir, since the
+// path may come from an untrusted REGISTER statement — and registers it
+// under name with a scan access method plus the given index declarations.
+// It returns the number of rows loaded. The load happens outside the
+// catalog lock; registration atomically replaces any existing entry of the
+// same name.
+func (c *Catalog) RegisterCSV(name, path string, indexes []sql.RegisterIndex) (int, error) {
+	f, err := c.open(path)
+	if err != nil {
+		return 0, fmt.Errorf("server: register %s: %w", name, err)
+	}
+	return c.registerFrom(name, f, indexes)
+}
+
+// RegisterLocalCSV loads the CSV at path with NO data-dir confinement —
+// for operator-supplied paths (command-line flags), never for paths taken
+// from client statements.
+func (c *Catalog) RegisterLocalCSV(name, path string, indexes []sql.RegisterIndex) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, fmt.Errorf("server: register %s: %w", name, err)
+	}
+	return c.registerFrom(name, f, indexes)
+}
+
+func (c *Catalog) registerFrom(name string, f *os.File, indexes []sql.RegisterIndex) (int, error) {
+	data, err := csvload.Load(name, f)
+	f.Close()
+	if err != nil {
+		return 0, err
+	}
+	scan := source.ScanSpec{InterArrival: c.scanInterval}
+	src := sql.Source{Data: data, Scan: &scan}
+	for _, ix := range indexes {
+		col := data.Schema.ColIndex(ix.Col)
+		if col < 0 {
+			return 0, fmt.Errorf("server: register %s: no column %q for INDEX", name, ix.Col)
+		}
+		src.Indexes = append(src.Indexes, source.IndexSpec{
+			KeyCols: []int{col}, Latency: clock.Duration(ix.Latency), Parallel: 1,
+		})
+	}
+	c.Put(name, src)
+	return len(data.Rows), nil
+}
+
+// Apply executes a parsed REGISTER TABLE statement against the catalog,
+// returning the number of rows loaded.
+func (c *Catalog) Apply(st *sql.RegisterStmt) (int, error) {
+	return c.RegisterCSV(st.Name, st.Path, st.Indexes)
+}
+
+// LoadFlagSpecs fills the catalog from the command-line specs shared by
+// the stemsql and stemsd binaries: tables as "name=path.csv" and indexes
+// as "table:column:latency". Flag paths are operator input, so they load
+// without data-dir confinement.
+func (c *Catalog) LoadFlagSpecs(tables, indexes []string) error {
+	for _, spec := range tables {
+		name, path, ok := strings.Cut(spec, "=")
+		if !ok {
+			return fmt.Errorf("server: bad table spec %q (want name=path.csv)", spec)
+		}
+		if _, err := c.RegisterLocalCSV(name, path, nil); err != nil {
+			return err
+		}
+	}
+	for _, spec := range indexes {
+		parts := strings.Split(spec, ":")
+		if len(parts) != 3 {
+			return fmt.Errorf("server: bad index spec %q (want table:column:latency)", spec)
+		}
+		lat, err := time.ParseDuration(parts[2])
+		if err != nil {
+			return fmt.Errorf("server: index latency: %w", err)
+		}
+		if err := c.AddIndex(parts[0], parts[1], lat); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AddIndex declares an additional single-column index access method on an
+// already-registered table.
+func (c *Catalog) AddIndex(table, col string, latency time.Duration) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	src, ok := c.sources[table]
+	if !ok {
+		return fmt.Errorf("server: index on unknown table %q", table)
+	}
+	ci := src.Data.Schema.ColIndex(col)
+	if ci < 0 {
+		return fmt.Errorf("server: index on unknown column %q of %q", col, table)
+	}
+	src.Indexes = append(append([]source.IndexSpec(nil), src.Indexes...), source.IndexSpec{
+		KeyCols: []int{ci}, Latency: clock.Duration(latency), Parallel: 1,
+	})
+	c.sources[table] = src
+	return nil
+}

@@ -1,0 +1,336 @@
+// exec.go executes one statement for one request: parse, bind against a
+// catalog snapshot, build a per-query router and engine, and stream results
+// back as NDJSON while they are produced. Each query gets its own policy,
+// router, and engine (none are safe for cross-query sharing); only the
+// catalog's source tables are shared, and those are immutable once
+// registered.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/eddy"
+	"repro/internal/policy"
+	"repro/internal/sql"
+	"repro/internal/tuple"
+	"repro/internal/value"
+)
+
+// execStats summarizes one query's execution for the trailer and metrics.
+type execStats struct {
+	Rows    int
+	Routed  uint64
+	Builds  uint64
+	Probes  uint64
+	Elapsed time.Duration
+}
+
+// userError marks failures caused by the request (parse, bind, bad knobs),
+// reported as 400 rather than 500.
+type userError struct{ err error }
+
+func (e userError) Error() string { return e.err.Error() }
+func (e userError) Unwrap() error { return e.err }
+
+// rowJSON renders one result tuple as a JSON object keyed by the projected
+// column labels.
+func rowJSON(t *tuple.Tuple, out []sql.OutputCol) map[string]any {
+	m := make(map[string]any, len(out))
+	for _, oc := range out {
+		v := t.Value(oc.Table, oc.Col)
+		switch v.K {
+		case value.Int:
+			m[oc.Name] = v.I
+		case value.Str:
+			m[oc.Name] = v.S
+		default:
+			m[oc.Name] = nil
+		}
+	}
+	return m
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req QueryRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		writeJSONError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	if req.SQL == "" {
+		writeJSONError(w, http.StatusBadRequest, errors.New(`missing "sql" field`))
+		return
+	}
+	st, err := sql.ParseStatement(req.SQL)
+	if err != nil {
+		writeJSONError(w, http.StatusBadRequest, err)
+		return
+	}
+	switch st := st.(type) {
+	case *sql.RegisterStmt:
+		// Registrations pass the same drain barrier and admission gate as
+		// queries: CSV loads are real memory/CPU work, so they must not
+		// exceed MaxInFlight and must not outlive a Shutdown drain.
+		if !s.beginQuery() {
+			s.met.reject()
+			writeJSONError(w, http.StatusServiceUnavailable, errDraining)
+			return
+		}
+		defer s.queries.Done()
+		if err := s.admit(r.Context()); err != nil {
+			s.met.reject()
+			code := http.StatusTooManyRequests
+			if !errors.Is(err, errBusy) {
+				code = http.StatusServiceUnavailable
+			}
+			writeJSONError(w, code, err)
+			return
+		}
+		defer s.release()
+		rows, err := s.cat.Apply(st)
+		if err != nil {
+			writeJSONError(w, http.StatusBadRequest, err)
+			return
+		}
+		s.met.register()
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{"registered": st.Name, "rows": rows})
+	case *sql.Stmt:
+		s.runQuery(w, r, req, st)
+	}
+}
+
+// runQuery admits, executes, and streams one SELECT.
+func (s *Server) runQuery(w http.ResponseWriter, r *http.Request, req QueryRequest, st *sql.Stmt) {
+	// Register with the drain barrier first: Shutdown flips draining before
+	// waiting, so a query that slips past the flag is still waited for.
+	if !s.beginQuery() {
+		s.met.reject()
+		writeJSONError(w, http.StatusServiceUnavailable, errDraining)
+		return
+	}
+	defer s.queries.Done()
+
+	// Cancellation chain: client disconnect (request context) → drain
+	// (base context) → session close → per-query deadline. Any of them
+	// cancels qctx, which aborts the admission queue wait or stops the
+	// eddy mid-route. The chain is built and the session attached BEFORE
+	// admission, so the deadline bounds queue time too and a session
+	// DELETE cancels its queued (not just executing) queries.
+	qctx, cancel := context.WithCancelCause(r.Context())
+	defer cancel(nil)
+	stopBase := context.AfterFunc(s.baseCtx, func() { cancel(context.Cause(s.baseCtx)) })
+	defer stopBase()
+
+	deadline := s.cfg.DefaultDeadline
+	if req.DeadlineMS > 0 {
+		deadline = time.Duration(req.DeadlineMS) * time.Millisecond
+	}
+	if deadline > s.cfg.MaxDeadline {
+		deadline = s.cfg.MaxDeadline
+	}
+	var cancelT context.CancelFunc
+	qctx, cancelT = context.WithTimeoutCause(qctx, deadline,
+		fmt.Errorf("query deadline %v exceeded", deadline))
+	defer cancelT()
+
+	if req.Session != "" {
+		qid := s.qid.Add(1)
+		ss := s.attachQuery(req.Session, qid, cancel)
+		if ss == nil {
+			writeJSONError(w, http.StatusConflict, fmt.Errorf("session %q is closed", req.Session))
+			return
+		}
+		defer s.detachQuery(ss, qid)
+	}
+
+	if err := s.admit(qctx); err != nil {
+		s.met.reject()
+		code := http.StatusTooManyRequests
+		if !errors.Is(err, errBusy) {
+			code = http.StatusServiceUnavailable // canceled while queued
+			if errors.Is(qctx.Err(), context.DeadlineExceeded) {
+				code = http.StatusGatewayTimeout
+			}
+		}
+		writeJSONError(w, code, err)
+		return
+	}
+	defer s.release()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	started := false
+	sink := func(row map[string]any) error {
+		if err := enc.Encode(map[string]any{"row": row}); err != nil {
+			return err
+		}
+		started = true
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return nil
+	}
+
+	stats, err := s.execute(qctx, req, st, sink)
+	if err != nil {
+		cause := err
+		qs := statusError
+		if qctx.Err() != nil {
+			qs = statusCanceled
+			if c := context.Cause(qctx); c != nil {
+				cause = c
+			}
+		}
+		s.met.finishQuery(qs, stats.Rows, stats.Elapsed, stats.Routed, stats.Builds, stats.Probes)
+		if started {
+			// Mid-stream: the status line is long gone; report in-band.
+			enc.Encode(map[string]string{"error": cause.Error()})
+			return
+		}
+		code := http.StatusInternalServerError
+		switch {
+		case errors.As(err, &userError{}):
+			code = http.StatusBadRequest
+		case qs == statusCanceled && errors.Is(qctx.Err(), context.DeadlineExceeded):
+			code = http.StatusGatewayTimeout
+		case qs == statusCanceled:
+			code = http.StatusServiceUnavailable
+		}
+		writeJSONError(w, code, cause)
+		return
+	}
+	s.met.finishQuery(statusOK, stats.Rows, stats.Elapsed, stats.Routed, stats.Builds, stats.Probes)
+	enc.Encode(map[string]any{
+		"done":          true,
+		"rows":          stats.Rows,
+		"elapsed_ms":    float64(stats.Elapsed) / float64(time.Millisecond),
+		"routing_steps": stats.Routed,
+		"stem_builds":   stats.Builds,
+		"index_probes":  stats.Probes,
+	})
+}
+
+// beginQuery registers the query with the drain barrier; it reports false
+// when the server is draining and the query must not start.
+func (s *Server) beginQuery() bool {
+	s.drainMu.RLock()
+	defer s.drainMu.RUnlock()
+	if s.draining.Load() {
+		return false
+	}
+	s.queries.Add(1)
+	return true
+}
+
+// execute binds and runs one SELECT, feeding result rows to sink. Rows
+// stream as the eddy emits them unless the statement has ORDER BY or LIMIT
+// (both are applied above the eddy, so those queries buffer and arrange
+// first). Engine-level statistics are returned even on a canceled run.
+func (s *Server) execute(ctx context.Context, req QueryRequest, st *sql.Stmt, sink func(map[string]any) error) (execStats, error) {
+	var stats execStats
+	start := time.Now()
+	bound, err := sql.Bind(st, s.cat.Snapshot())
+	if err != nil {
+		return stats, userError{err}
+	}
+	seed := req.Seed
+	if seed == 0 {
+		seed = s.cfg.Seed
+	}
+	polName := req.Policy
+	if polName == "" {
+		polName = s.cfg.Policy
+	}
+	pol, err := policy.ByName(polName, seed)
+	if err != nil {
+		return stats, userError{err}
+	}
+	shards := req.Shards
+	if shards == 0 {
+		shards = s.cfg.Shards
+	}
+	r, err := eddy.NewRouter(bound.Q, eddy.Options{Policy: pol, Shards: shards})
+	if err != nil {
+		return stats, userError{err}
+	}
+
+	ctx, cancel := context.WithCancelCause(ctx)
+	defer cancel(nil)
+
+	streaming := len(bound.OrderBy) == 0 && bound.Limit < 0
+	var sinkErr error
+	emit := func(t *tuple.Tuple) {
+		if sinkErr != nil {
+			return
+		}
+		if err := sink(rowJSON(t, bound.Output)); err != nil {
+			sinkErr = err
+			cancel(fmt.Errorf("client write failed: %w", err))
+			return
+		}
+		stats.Rows++
+	}
+
+	var outs []eddy.Output
+	var runErr error
+	switch req.Engine {
+	case "", "concurrent":
+		batch := req.Batch
+		if batch == 0 {
+			batch = s.cfg.BatchSize
+		}
+		eng := eddy.NewConcurrent(r, clock.NewReal(s.cfg.TimeCompression))
+		eng.BatchSize = batch
+		if streaming {
+			eng.OnOutput = func(t *tuple.Tuple, at clock.Time) { emit(t) }
+		}
+		outs, runErr = eng.RunContext(ctx)
+	case "sim":
+		sim := eddy.NewSim(r)
+		sim.Ctx = ctx
+		if streaming {
+			sim.OnOutput = func(t *tuple.Tuple, at clock.Time) { emit(t) }
+		}
+		outs, runErr = sim.Run()
+	default:
+		return stats, userError{fmt.Errorf("unknown engine %q (want concurrent or sim)", req.Engine)}
+	}
+
+	stats.Routed = r.Routed()
+	for _, a := range r.AMs() {
+		stats.Probes += a.Stats().Probes
+	}
+	for _, sm := range r.SteMs() {
+		stats.Builds += sm.Stats().Builds
+	}
+	stats.Elapsed = time.Since(start)
+	if runErr != nil {
+		return stats, runErr
+	}
+	if sinkErr != nil {
+		return stats, sinkErr
+	}
+	if n := r.Stuck(); n > 0 {
+		return stats, fmt.Errorf("internal error: %d tuples had no legal route", n)
+	}
+	if !streaming {
+		ts := make([]*tuple.Tuple, len(outs))
+		for i, o := range outs {
+			ts[i] = o.T
+		}
+		for _, t := range bound.Arrange(ts) {
+			emit(t)
+		}
+		if sinkErr != nil {
+			return stats, sinkErr
+		}
+	}
+	return stats, nil
+}

@@ -1,0 +1,128 @@
+// metrics.go aggregates the serving layer's counters and renders them in
+// the Prometheus text exposition format. The engine-level counters (routing
+// steps, SteM builds, index probes) are the same per-module statistics the
+// trace/explain layer reports per query, folded here into process-lifetime
+// totals. Everything here is O(1) state: a long-lived server must not
+// accumulate per-query history (time-series curves are the scrape
+// consumer's job, the same way the paper's cumulative-result figures are
+// plotted from sampled counters).
+package server
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// queryStatus classifies a finished query for the metrics by-status counter.
+type queryStatus string
+
+const (
+	statusOK       queryStatus = "ok"
+	statusError    queryStatus = "error"
+	statusCanceled queryStatus = "canceled"
+	statusRejected queryStatus = "rejected"
+)
+
+// metrics is the server's counter set. All methods are safe for concurrent
+// use; gauges owned by the admission path are read through the Server.
+type metrics struct {
+	start time.Time
+
+	mu           sync.Mutex
+	queries      map[queryStatus]uint64
+	registers    uint64
+	rowsStreamed uint64
+	routingSteps uint64
+	stemBuilds   uint64
+	indexProbes  uint64
+	querySeconds float64
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		start:   time.Now(),
+		queries: make(map[queryStatus]uint64),
+	}
+}
+
+// finishQuery folds one completed query into the totals.
+func (m *metrics) finishQuery(st queryStatus, rows int, elapsed time.Duration, routed, builds, probes uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.queries[st]++
+	m.rowsStreamed += uint64(rows)
+	m.querySeconds += elapsed.Seconds()
+	m.routingSteps += routed
+	m.stemBuilds += builds
+	m.indexProbes += probes
+}
+
+func (m *metrics) reject() {
+	m.mu.Lock()
+	m.queries[statusRejected]++
+	m.mu.Unlock()
+}
+
+func (m *metrics) register() {
+	m.mu.Lock()
+	m.registers++
+	m.mu.Unlock()
+}
+
+// gauges are point-in-time values the Server owns; passed in at render time.
+type gauges struct {
+	inflight int64
+	queued   int64
+	sessions int
+	tables   int
+	draining bool
+}
+
+// write renders the counters in the Prometheus text exposition format.
+func (m *metrics) write(w io.Writer, g gauges) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	counter := func(name, help string) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+	}
+	gauge := func(name, help string) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
+	}
+
+	counter("stemsd_queries_total", "Finished queries by status.")
+	for _, st := range []queryStatus{statusOK, statusError, statusCanceled, statusRejected} {
+		fmt.Fprintf(w, "stemsd_queries_total{status=%q} %d\n", st, m.queries[st])
+	}
+	counter("stemsd_registers_total", "REGISTER TABLE statements executed.")
+	fmt.Fprintf(w, "stemsd_registers_total %d\n", m.registers)
+	counter("stemsd_rows_streamed_total", "Result rows streamed to clients.")
+	fmt.Fprintf(w, "stemsd_rows_streamed_total %d\n", m.rowsStreamed)
+	counter("stemsd_query_seconds_total", "Wall-clock seconds spent executing queries.")
+	fmt.Fprintf(w, "stemsd_query_seconds_total %.6f\n", m.querySeconds)
+	counter("stemsd_routing_steps_total", "Eddy routing decisions across all queries.")
+	fmt.Fprintf(w, "stemsd_routing_steps_total %d\n", m.routingSteps)
+	counter("stemsd_stem_builds_total", "Rows materialized into SteMs across all queries.")
+	fmt.Fprintf(w, "stemsd_stem_builds_total %d\n", m.stemBuilds)
+	counter("stemsd_index_probes_total", "Remote index lookups across all queries.")
+	fmt.Fprintf(w, "stemsd_index_probes_total %d\n", m.indexProbes)
+
+	gauge("stemsd_inflight_queries", "Queries currently executing.")
+	fmt.Fprintf(w, "stemsd_inflight_queries %d\n", g.inflight)
+	gauge("stemsd_queued_queries", "Queries waiting for an execution slot.")
+	fmt.Fprintf(w, "stemsd_queued_queries %d\n", g.queued)
+	gauge("stemsd_sessions_active", "Live sessions.")
+	fmt.Fprintf(w, "stemsd_sessions_active %d\n", g.sessions)
+	gauge("stemsd_catalog_tables", "Tables registered in the shared catalog.")
+	fmt.Fprintf(w, "stemsd_catalog_tables %d\n", g.tables)
+	draining := 0
+	if g.draining {
+		draining = 1
+	}
+	gauge("stemsd_draining", "1 while the server is draining for shutdown.")
+	fmt.Fprintf(w, "stemsd_draining %d\n", draining)
+	gauge("stemsd_uptime_seconds", "Seconds since the server started.")
+	fmt.Fprintf(w, "stemsd_uptime_seconds %.3f\n", time.Since(m.start).Seconds())
+}

@@ -1,0 +1,404 @@
+// Package server is the long-lived serving layer over the SteM/eddy engine:
+// where the rest of the repository executes one query and exits, this
+// package keeps a process alive with a shared mutable catalog of registered
+// tables, accepts queries over HTTP/JSON, and executes each on its own
+// concurrent engine under admission control (bounded in-flight queries and
+// queue), per-query deadlines, session-scoped cancellation, and a graceful
+// drain on shutdown. Results stream back as NDJSON as the eddy emits them —
+// the paper's online, adaptive processing model surfaced as a service.
+//
+// Cancellation is threaded all the way down: a client disconnect, a
+// deadline, a DELETE on the session, or a server drain cancels the query's
+// context, which stops the eddy's routing loop and unwinds every engine
+// goroutine (see eddy.Concurrent.RunContext).
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config tunes the server. Zero values take the documented defaults.
+type Config struct {
+	// MaxInFlight bounds concurrently executing queries (default 8).
+	MaxInFlight int
+	// QueueDepth bounds queries waiting for an execution slot beyond
+	// MaxInFlight; an arrival beyond the queue is rejected with 429.
+	// 0 disables queueing (fail fast at MaxInFlight); negative takes the
+	// default of 16.
+	QueueDepth int
+	// DefaultDeadline applies to queries that name none (default 30s).
+	DefaultDeadline time.Duration
+	// MaxDeadline caps client-requested deadlines (default 5m).
+	MaxDeadline time.Duration
+	// Policy is the default routing policy: "benefitcost" (default),
+	// "fixed", or "lottery".
+	Policy string
+	// Seed feeds randomized policies (default 1).
+	Seed int64
+	// BatchSize is the concurrent engine's default eddy batch size.
+	BatchSize int
+	// Shards is the default SteM shard count.
+	Shards int
+	// TimeCompression scales the concurrent engine's clock (default 0.001:
+	// one modeled second per wall millisecond).
+	TimeCompression float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 8
+	}
+	if c.QueueDepth < 0 {
+		c.QueueDepth = 16
+	}
+	if c.DefaultDeadline == 0 {
+		c.DefaultDeadline = 30 * time.Second
+	}
+	if c.MaxDeadline == 0 {
+		c.MaxDeadline = 5 * time.Minute
+	}
+	if c.Policy == "" {
+		c.Policy = "benefitcost"
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.TimeCompression == 0 {
+		c.TimeCompression = 0.001
+	}
+	return c
+}
+
+// errBusy rejects an arrival past the admission queue.
+var errBusy = errors.New("server at capacity")
+
+// errDraining rejects work while the server shuts down.
+var errDraining = errors.New("server draining")
+
+// session groups queries under one client-visible ID so they can be
+// enumerated and canceled together. Sessions created explicitly with
+// POST /session persist until DELETE; sessions auto-created by naming one
+// in a query are reaped as soon as their last query detaches, so a client
+// minting a fresh session ID per query cannot grow the session map without
+// bound.
+type session struct {
+	id       string
+	created  time.Time
+	explicit bool
+
+	mu     sync.Mutex
+	active map[uint64]context.CancelCauseFunc
+	total  uint64
+	closed bool
+}
+
+// close cancels every active query with the given cause.
+func (ss *session) close(cause error) {
+	ss.mu.Lock()
+	ss.closed = true
+	cancels := make([]context.CancelCauseFunc, 0, len(ss.active))
+	for _, c := range ss.active {
+		cancels = append(cancels, c)
+	}
+	ss.mu.Unlock()
+	for _, c := range cancels {
+		c(cause)
+	}
+}
+
+// Server executes SQL statements against a shared catalog for many
+// concurrent clients. Create with New, expose via Handler, stop with
+// Shutdown.
+type Server struct {
+	cat *Catalog
+	cfg Config
+	met *metrics
+	mux *http.ServeMux
+
+	baseCtx    context.Context
+	cancelBase context.CancelCauseFunc
+	draining   atomic.Bool
+	// drainMu orders beginQuery against Shutdown: queries register with the
+	// WaitGroup under the read lock, Shutdown flips draining under the write
+	// lock, so no query can slip in after the drain barrier is up.
+	drainMu sync.RWMutex
+	queries sync.WaitGroup
+
+	sem    chan struct{}
+	queued atomic.Int64
+	qid    atomic.Uint64
+
+	smu      sync.Mutex
+	sessions map[string]*session
+	sid      atomic.Uint64
+}
+
+// New builds a server over the catalog.
+func New(cat *Catalog, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	baseCtx, cancelBase := context.WithCancelCause(context.Background())
+	s := &Server{
+		cat:        cat,
+		cfg:        cfg,
+		met:        newMetrics(),
+		baseCtx:    baseCtx,
+		cancelBase: cancelBase,
+		sem:        make(chan struct{}, cfg.MaxInFlight),
+		sessions:   make(map[string]*session),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /query", s.handleQuery)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /tables", s.handleTables)
+	mux.HandleFunc("POST /session", s.handleSessionCreate)
+	mux.HandleFunc("GET /sessions", s.handleSessionList)
+	mux.HandleFunc("DELETE /session/{id}", s.handleSessionDelete)
+	s.mux = mux
+	return s
+}
+
+// Handler returns the HTTP handler serving the query API.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Catalog returns the server's shared catalog.
+func (s *Server) Catalog() *Catalog { return s.cat }
+
+// Draining reports whether the server has begun shutting down.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Shutdown drains the server: new queries are rejected immediately,
+// in-flight queries get up to drain to finish, and whatever remains is
+// canceled (the cancellation reaches the eddy, which stops routing and
+// unwinds its goroutines). Shutdown returns once every query has unwound.
+// The HTTP listener is the caller's to close (http.Server.Shutdown waits
+// for the same handlers this waits for).
+func (s *Server) Shutdown(drain time.Duration) {
+	s.drainMu.Lock()
+	s.draining.Store(true)
+	s.drainMu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.queries.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(drain):
+		s.cancelBase(fmt.Errorf("server shutting down (drain %v elapsed)", drain))
+		<-done
+	}
+	s.cancelBase(errDraining) // no-op if already canceled
+	s.smu.Lock()
+	for id, ss := range s.sessions {
+		delete(s.sessions, id)
+		ss.close(errDraining)
+	}
+	s.smu.Unlock()
+}
+
+// admit acquires an execution slot, waiting in the bounded queue if the
+// server is saturated. It fails fast with errBusy when the queue is full.
+func (s *Server) admit(ctx context.Context) error {
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	default:
+	}
+	if int(s.queued.Add(1)) > s.cfg.QueueDepth {
+		s.queued.Add(-1)
+		return errBusy
+	}
+	defer s.queued.Add(-1)
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return context.Cause(ctx)
+	}
+}
+
+func (s *Server) release() { <-s.sem }
+
+// sessionFor returns the named session, creating it on first use so
+// clients can adopt session IDs without a prior POST /session. explicit
+// marks POST /session creations, which persist until DELETE.
+// sessionLocked returns the named session, creating it on first use; the
+// caller holds smu.
+func (s *Server) sessionLocked(id string) *session {
+	ss, ok := s.sessions[id]
+	if !ok {
+		ss = &session{id: id, created: time.Now(), active: make(map[uint64]context.CancelCauseFunc)}
+		s.sessions[id] = ss
+	}
+	return ss
+}
+
+func (s *Server) sessionFor(id string, explicit bool) *session {
+	s.smu.Lock()
+	defer s.smu.Unlock()
+	ss := s.sessionLocked(id)
+	if explicit {
+		ss.explicit = true
+	}
+	return ss
+}
+
+// attachQuery registers a running query's cancel under the named session
+// (created on first use); it returns nil if the session was concurrently
+// closed. Attach and detach both serialize under smu, so a reap can never
+// race an attach into an orphaned session.
+func (s *Server) attachQuery(id string, qid uint64, cancel context.CancelCauseFunc) *session {
+	s.smu.Lock()
+	defer s.smu.Unlock()
+	ss := s.sessionLocked(id)
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	if ss.closed {
+		return nil
+	}
+	ss.active[qid] = cancel
+	ss.total++
+	return ss
+}
+
+// detachQuery removes a finished query from its session and reaps the
+// session when it was auto-created and is now idle.
+func (s *Server) detachQuery(ss *session, qid uint64) {
+	s.smu.Lock()
+	defer s.smu.Unlock()
+	ss.mu.Lock()
+	delete(ss.active, qid)
+	idle := len(ss.active) == 0
+	ss.mu.Unlock()
+	if idle && !ss.explicit && s.sessions[ss.id] == ss {
+		delete(s.sessions, ss.id)
+	}
+}
+
+func (s *Server) sessionCount() int {
+	s.smu.Lock()
+	defer s.smu.Unlock()
+	return len(s.sessions)
+}
+
+func (s *Server) gauges() gauges {
+	return gauges{
+		inflight: int64(len(s.sem)),
+		queued:   s.queued.Load(),
+		sessions: s.sessionCount(),
+		tables:   s.cat.Len(),
+		draining: s.draining.Load(),
+	}
+}
+
+// QueryRequest is the POST /query body.
+type QueryRequest struct {
+	// SQL is the statement: a SELECT or a REGISTER TABLE.
+	SQL string `json:"sql"`
+	// Session optionally groups this query under a session ID for
+	// collective cancellation; unknown IDs are created on first use.
+	Session string `json:"session,omitempty"`
+	// DeadlineMS bounds the query's wall time in milliseconds; 0 takes the
+	// server default, and values above the server maximum are capped.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+	// Engine picks the executor: "concurrent" (default) or "sim".
+	Engine string `json:"engine,omitempty"`
+	// Policy overrides the server's default routing policy.
+	Policy string `json:"policy,omitempty"`
+	// Seed overrides the randomized-policy seed.
+	Seed int64 `json:"seed,omitempty"`
+	// Batch overrides the concurrent engine's eddy batch size.
+	Batch int `json:"batch,omitempty"`
+	// Shards overrides the SteM shard count.
+	Shards int `json:"shards,omitempty"`
+}
+
+func writeJSONError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	g := s.gauges()
+	status := "ok"
+	code := http.StatusOK
+	if g.draining {
+		status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]any{
+		"status":   status,
+		"tables":   s.cat.Tables(),
+		"inflight": g.inflight,
+		"queued":   g.queued,
+		"sessions": g.sessions,
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.met.write(w, s.gauges())
+}
+
+func (s *Server) handleTables(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{"tables": s.cat.Tables()})
+}
+
+func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSONError(w, http.StatusServiceUnavailable, errDraining)
+		return
+	}
+	id := fmt.Sprintf("s%d", s.sid.Add(1))
+	s.sessionFor(id, true)
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]string{"id": id})
+}
+
+func (s *Server) handleSessionList(w http.ResponseWriter, r *http.Request) {
+	s.smu.Lock()
+	type sessInfo struct {
+		ID      string    `json:"id"`
+		Active  int       `json:"active_queries"`
+		Total   uint64    `json:"queries_total"`
+		Created time.Time `json:"created"`
+	}
+	out := make([]sessInfo, 0, len(s.sessions))
+	for _, ss := range s.sessions {
+		ss.mu.Lock()
+		out = append(out, sessInfo{ID: ss.id, Active: len(ss.active), Total: ss.total, Created: ss.created})
+		ss.mu.Unlock()
+	}
+	s.smu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{"sessions": out})
+}
+
+func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.smu.Lock()
+	ss, ok := s.sessions[id]
+	delete(s.sessions, id)
+	s.smu.Unlock()
+	if !ok {
+		writeJSONError(w, http.StatusNotFound, fmt.Errorf("unknown session %q", id))
+		return
+	}
+	ss.close(fmt.Errorf("session %q closed", id))
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]string{"closed": id})
+}

@@ -1,0 +1,584 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/schema"
+	"repro/internal/source"
+	"repro/internal/sql"
+	"repro/internal/tuple"
+	"repro/internal/value"
+)
+
+func intRow(vs ...int64) tuple.Row {
+	r := make(tuple.Row, len(vs))
+	for i, v := range vs {
+		r[i] = value.NewInt(v)
+	}
+	return r
+}
+
+// seqRows returns n rows (i, i%k) for join fan-out control.
+func seqRows(n int, k int64) []tuple.Row {
+	out := make([]tuple.Row, n)
+	for i := range out {
+		out[i] = intRow(int64(i), int64(i)%k)
+	}
+	return out
+}
+
+// memCatalog builds an in-memory catalog with three joinable tables:
+// r(key,a), s(x,y), u(p,q); r.a = s.x and s.y = u.p give a 3-way join with
+// a known result count.
+func memCatalog(t testing.TB, scanInterval time.Duration) *Catalog {
+	t.Helper()
+	cat := NewCatalog(scanInterval, "")
+	scan := source.ScanSpec{InterArrival: clock.Duration(scanInterval)}
+	add := func(name string, cols []schema.Column, rows []tuple.Row) {
+		sch, err := schema.NewTable(name, cols...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := source.NewTable(sch, rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := scan
+		cat.Put(name, sql.Source{Data: data, Scan: &sc})
+	}
+	add("r", []schema.Column{schema.IntCol("key"), schema.IntCol("a")},
+		[]tuple.Row{intRow(1, 10), intRow(2, 20), intRow(3, 10)})
+	add("s", []schema.Column{schema.IntCol("x"), schema.IntCol("y")},
+		[]tuple.Row{intRow(10, 100), intRow(20, 200)})
+	add("u", []schema.Column{schema.IntCol("p"), schema.IntCol("q")},
+		[]tuple.Row{intRow(100, 7), intRow(200, 8), intRow(100, 9)})
+	return cat
+}
+
+// threeWayJoin is the canonical test query; over memCatalog it yields
+// r{1,3}×s{10}×u{100,100} + r{2}×s{20}×u{200} = 2*2 + 1 = 5 rows.
+const threeWayJoin = "SELECT r.key, u.q FROM r, s, u WHERE r.a = s.x AND s.y = u.p"
+
+type ndjsonResult struct {
+	status  int
+	rows    []map[string]any
+	trailer map[string]any
+	errLine string
+}
+
+// postQuery POSTs a query and decodes the NDJSON response. It reports
+// failures with Errorf (not Fatal) so it is safe to call from spawned
+// goroutines; on transport errors the zero-status result fails the
+// caller's assertions.
+func postQuery(t testing.TB, client *http.Client, url string, body any) ndjsonResult {
+	t.Helper()
+	var res ndjsonResult
+	payload, err := json.Marshal(body)
+	if err != nil {
+		t.Errorf("marshal request: %v", err)
+		return res
+	}
+	resp, err := client.Post(url+"/query", "application/json", strings.NewReader(string(payload)))
+	if err != nil {
+		t.Errorf("POST /query: %v", err)
+		return res
+	}
+	defer resp.Body.Close()
+	res.status = resp.StatusCode
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(strings.TrimSpace(string(line))) == 0 {
+			continue
+		}
+		var obj map[string]any
+		if err := json.Unmarshal(line, &obj); err != nil {
+			t.Errorf("bad NDJSON line %q: %v", line, err)
+			return res
+		}
+		switch {
+		case obj["row"] != nil:
+			res.rows = append(res.rows, obj["row"].(map[string]any))
+		case obj["done"] == true || obj["registered"] != nil:
+			res.trailer = obj
+		case obj["error"] != nil:
+			res.errLine = obj["error"].(string)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Errorf("reading response: %v", err)
+	}
+	return res
+}
+
+func newTestServer(t testing.TB, cat *Catalog, cfg Config) (*Server, *httptest.Server, *http.Client) {
+	t.Helper()
+	srv := New(cat, cfg)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	client := ts.Client()
+	t.Cleanup(client.CloseIdleConnections)
+	return srv, ts, client
+}
+
+// waitForGoroutines polls until the goroutine count falls back to the
+// baseline, dumping stacks on timeout — the zero-leak assertion for engine
+// cancellation and server drain.
+func waitForGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		runtime.GC()
+		n := runtime.NumGoroutine()
+		if n <= baseline {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			sz := runtime.Stack(buf, true)
+			t.Fatalf("leaked goroutines: %d running, baseline %d\n%s", n, baseline, buf[:sz])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func TestQueryStreamsRows(t *testing.T) {
+	_, ts, client := newTestServer(t, memCatalog(t, time.Microsecond), Config{})
+	res := postQuery(t, client, ts.URL, map[string]any{"sql": threeWayJoin})
+	if res.status != http.StatusOK {
+		t.Fatalf("status = %d", res.status)
+	}
+	if len(res.rows) != 5 {
+		t.Errorf("rows = %d, want 5", len(res.rows))
+	}
+	if res.trailer == nil || res.trailer["rows"] != float64(5) {
+		t.Errorf("trailer = %v", res.trailer)
+	}
+	if res.trailer["routing_steps"] == float64(0) {
+		t.Errorf("trailer reports no routing steps: %v", res.trailer)
+	}
+	// Spot-check one row's shape: projected labels carry alias.column names.
+	if _, ok := res.rows[0]["r.key"]; !ok {
+		t.Errorf("row missing r.key: %v", res.rows[0])
+	}
+}
+
+func TestOrderByLimitBuffered(t *testing.T) {
+	_, ts, client := newTestServer(t, memCatalog(t, time.Microsecond), Config{})
+	res := postQuery(t, client, ts.URL, map[string]any{
+		"sql": "SELECT r.key FROM r, s WHERE r.a = s.x ORDER BY r.key DESC LIMIT 2",
+	})
+	if res.status != http.StatusOK || len(res.rows) != 2 {
+		t.Fatalf("status=%d rows=%v", res.status, res.rows)
+	}
+	if res.rows[0]["r.key"] != float64(3) || res.rows[1]["r.key"] != float64(2) {
+		t.Errorf("order wrong: %v", res.rows)
+	}
+}
+
+func TestParseAndBindErrorsAre400(t *testing.T) {
+	_, ts, client := newTestServer(t, memCatalog(t, time.Microsecond), Config{})
+	for _, sqlText := range []string{
+		"SELEC nope",
+		"SELECT * FROM nosuch",
+		"SELECT * FROM r WHERE a = 'oops",
+	} {
+		res := postQuery(t, client, ts.URL, map[string]any{"sql": sqlText})
+		if res.status != http.StatusBadRequest {
+			t.Errorf("%q: status = %d, want 400", sqlText, res.status)
+		}
+	}
+}
+
+// TestRegisterTableAtRuntime registers CSVs through the query endpoint and
+// immediately joins across them — the shared catalog is mutable while the
+// server runs.
+func TestRegisterTableAtRuntime(t *testing.T) {
+	dir := t.TempDir()
+	mustWrite := func(name, content string) {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustWrite("people.csv", "id,name\n1,ada\n2,bob\n3,cyd\n")
+	mustWrite("orders.csv", "id,person,total\n10,1,100\n11,1,150\n12,3,50\n")
+
+	cat := NewCatalog(time.Microsecond, dir)
+	_, ts, client := newTestServer(t, cat, Config{})
+
+	reg := postQuery(t, client, ts.URL, map[string]any{
+		"sql": "REGISTER TABLE people FROM 'people.csv' INDEX id LATENCY 1ms",
+	})
+	if reg.status != http.StatusOK || reg.trailer["registered"] != "people" || reg.trailer["rows"] != float64(3) {
+		t.Fatalf("register people: status=%d trailer=%v", reg.status, reg.trailer)
+	}
+	reg = postQuery(t, client, ts.URL, map[string]any{
+		"sql": "REGISTER TABLE orders FROM 'orders.csv'",
+	})
+	if reg.status != http.StatusOK {
+		t.Fatalf("register orders: %+v", reg)
+	}
+
+	res := postQuery(t, client, ts.URL, map[string]any{
+		"sql": "SELECT people.name, orders.total FROM people, orders WHERE people.id = orders.person",
+	})
+	if res.status != http.StatusOK || len(res.rows) != 3 {
+		t.Fatalf("join over registered tables: status=%d rows=%v", res.status, res.rows)
+	}
+
+	// The data dir confines registration paths: lexical `..` escapes,
+	// absolute paths, and symlinks pointing outside are all rejected.
+	outside := filepath.Join(t.TempDir(), "outside.csv")
+	if err := os.WriteFile(outside, []byte("id\n1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Symlink(outside, filepath.Join(dir, "link.csv")); err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{"../outside.csv", outside, "link.csv"} {
+		esc := postQuery(t, client, ts.URL, map[string]any{
+			"sql": fmt.Sprintf("REGISTER TABLE evil FROM '%s'", path),
+		})
+		if esc.status != http.StatusBadRequest {
+			t.Errorf("path escape via %q: status = %d, want 400", path, esc.status)
+		}
+	}
+}
+
+// TestConcurrentSessionsSharedCatalog exercises the acceptance criterion:
+// ≥8 concurrent streaming queries over one shared catalog, with a
+// concurrent runtime registration mixed in, all under -race in CI.
+func TestConcurrentSessionsSharedCatalog(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "extra.csv"), []byte("id,v\n1,10\n2,20\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cat := memCatalog(t, time.Microsecond)
+	cat.dir = dir
+	srv, ts, client := newTestServer(t, cat, Config{MaxInFlight: 16, QueueDepth: 32})
+
+	const n = 12
+	var wg sync.WaitGroup
+	errs := make(chan error, n+1)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res := postQuery(t, client, ts.URL, map[string]any{
+				"sql":     threeWayJoin,
+				"session": fmt.Sprintf("sess-%d", i%4),
+				"engine":  []string{"concurrent", "sim"}[i%2],
+				"shards":  []int{1, 2}[i%2],
+			})
+			if res.status != http.StatusOK || len(res.rows) != 5 {
+				errs <- fmt.Errorf("query %d: status=%d rows=%d err=%q", i, res.status, len(res.rows), res.errLine)
+			}
+		}(i)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		res := postQuery(t, client, ts.URL, map[string]any{
+			"sql": "REGISTER TABLE extra FROM 'extra.csv'",
+		})
+		if res.status != http.StatusOK {
+			errs <- fmt.Errorf("concurrent register: status=%d", res.status)
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if got := cat.Len(); got != 4 {
+		t.Errorf("catalog tables = %d, want 4", got)
+	}
+	// Auto-created sessions reap once idle — a fresh session ID per query
+	// must not grow the session map without bound.
+	if n := srv.sessionCount(); n != 0 {
+		t.Errorf("implicit sessions not reaped: %d remain", n)
+	}
+
+	// Explicit sessions persist until DELETE.
+	resp, err := client.Post(ts.URL+"/session", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var created struct {
+		ID string `json:"id"`
+	}
+	json.NewDecoder(resp.Body).Decode(&created)
+	resp.Body.Close()
+	if res := postQuery(t, client, ts.URL, map[string]any{"sql": threeWayJoin, "session": created.ID}); res.status != http.StatusOK {
+		t.Fatalf("explicit-session query: %d", res.status)
+	}
+	if n := srv.sessionCount(); n != 1 {
+		t.Errorf("explicit session reaped early: count = %d, want 1", n)
+	}
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/session/"+created.ID, nil)
+	if dresp, err := client.Do(req); err != nil {
+		t.Fatal(err)
+	} else {
+		dresp.Body.Close()
+	}
+	if n := srv.sessionCount(); n != 0 {
+		t.Errorf("session survives DELETE: count = %d", n)
+	}
+}
+
+// slowCatalog paces scans so that, at TimeCompression 1, a 2-way join runs
+// for several wall seconds — long enough to cancel mid-join.
+func slowCatalog(t testing.TB) *Catalog {
+	t.Helper()
+	cat := NewCatalog(20*time.Millisecond, "")
+	scan := source.ScanSpec{InterArrival: 20 * clock.Millisecond}
+	sch1, _ := schema.NewTable("big", schema.IntCol("k"), schema.IntCol("a"))
+	d1, _ := source.NewTable(sch1, seqRows(400, 50))
+	cat.Put("big", sql.Source{Data: d1, Scan: &scan})
+	sch2, _ := schema.NewTable("dim", schema.IntCol("b"), schema.IntCol("v"))
+	d2, _ := source.NewTable(sch2, seqRows(50, 50))
+	cat.Put("dim", sql.Source{Data: d2, Scan: &scan})
+	return cat
+}
+
+const slowJoin = "SELECT big.k, dim.v FROM big, dim WHERE big.a = dim.b"
+
+// TestDeadlineCancelsMidJoin fires a per-query deadline while the scans are
+// still delivering and asserts the engine unwinds without leaking
+// goroutines.
+func TestDeadlineCancelsMidJoin(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	srv, ts, client := newTestServer(t, slowCatalog(t), Config{TimeCompression: 1})
+
+	start := time.Now()
+	res := postQuery(t, client, ts.URL, map[string]any{
+		"sql":         slowJoin,
+		"deadline_ms": 250,
+	})
+	elapsed := time.Since(start)
+	// The full join needs ~8s of paced scanning; the deadline must cut it
+	// far shorter.
+	if elapsed > 5*time.Second {
+		t.Fatalf("deadline did not fire: query ran %v", elapsed)
+	}
+	// Either the deadline fired before any row escaped (504) or it cut the
+	// stream mid-flight (in-band error line).
+	failed := res.errLine != "" || res.status == http.StatusGatewayTimeout
+	if !failed {
+		t.Fatalf("expected a deadline error, got status=%d rows=%d trailer=%v",
+			res.status, len(res.rows), res.trailer)
+	}
+	msg := res.errLine
+	if msg == "" && res.trailer != nil {
+		msg = fmt.Sprint(res.trailer)
+	}
+	if !strings.Contains(msg, "deadline") && res.status != http.StatusGatewayTimeout {
+		t.Errorf("error does not mention the deadline: %q (status %d)", msg, res.status)
+	}
+
+	// Metrics recorded the cancellation.
+	metResp, err := client.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metBody := new(strings.Builder)
+	if _, err := io.Copy(metBody, metResp.Body); err != nil {
+		t.Fatal(err)
+	}
+	metResp.Body.Close()
+	if !strings.Contains(metBody.String(), `stemsd_queries_total{status="canceled"} 1`) {
+		t.Errorf("metrics missing canceled count:\n%s", metBody)
+	}
+
+	// Zero leaked goroutines once the server is gone.
+	srv.Shutdown(time.Second)
+	ts.Close()
+	client.CloseIdleConnections()
+	waitForGoroutines(t, baseline)
+}
+
+// TestGracefulShutdownDrain starts a long query, drains with a window too
+// short for it, and asserts the query is canceled, new work is rejected,
+// and no goroutine outlives the server.
+func TestGracefulShutdownDrain(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	srv, ts, client := newTestServer(t, slowCatalog(t), Config{TimeCompression: 1})
+
+	type outcome struct {
+		res ndjsonResult
+	}
+	resCh := make(chan outcome, 1)
+	go func() {
+		resCh <- outcome{postQuery(t, client, ts.URL, map[string]any{
+			"sql":         slowJoin,
+			"deadline_ms": 60_000,
+		})}
+	}()
+
+	// Wait until the query is actually executing.
+	waitInflight(t, client, ts.URL, 1)
+
+	done := make(chan struct{})
+	go func() {
+		srv.Shutdown(200 * time.Millisecond)
+		close(done)
+	}()
+
+	// While draining (and after), new queries are rejected.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		res := postQuery(t, client, ts.URL, map[string]any{"sql": slowJoin})
+		if res.status == http.StatusServiceUnavailable {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("draining server accepted a query: status=%d", res.status)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	out := (<-resCh).res
+	if out.errLine == "" && out.status == http.StatusOK && out.trailer != nil {
+		t.Errorf("long query finished despite drain cancel: %v", out.trailer)
+	}
+	<-done
+
+	// healthz reports draining.
+	resp, err := client.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("healthz while draining = %d, want 503", resp.StatusCode)
+	}
+
+	ts.Close()
+	client.CloseIdleConnections()
+	waitForGoroutines(t, baseline)
+}
+
+// waitInflight polls /healthz until the in-flight gauge reaches want.
+func waitInflight(t *testing.T, client *http.Client, url string, want int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := client.Get(url + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var h struct {
+			Inflight int `json:"inflight"`
+		}
+		json.NewDecoder(resp.Body).Decode(&h)
+		resp.Body.Close()
+		if h.Inflight >= want {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("inflight never reached %d", want)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestAdmissionRejectsBeyondQueue saturates a MaxInFlight=1/QueueDepth=0
+// server and asserts the overflow arrival is rejected with 429.
+func TestAdmissionRejectsBeyondQueue(t *testing.T) {
+	srv, ts, client := newTestServer(t, slowCatalog(t), Config{
+		MaxInFlight: 1, QueueDepth: 0, TimeCompression: 1,
+	})
+	go postQuery(t, client, ts.URL, map[string]any{"sql": slowJoin, "deadline_ms": 10_000})
+	waitInflight(t, client, ts.URL, 1)
+
+	res := postQuery(t, client, ts.URL, map[string]any{"sql": slowJoin})
+	if res.status != http.StatusTooManyRequests {
+		t.Fatalf("overflow status = %d, want 429", res.status)
+	}
+	srv.Shutdown(50 * time.Millisecond)
+}
+
+// TestSessionDeleteCancelsQueries closes a session mid-query and asserts
+// its in-flight query is canceled.
+func TestSessionDeleteCancelsQueries(t *testing.T) {
+	srv, ts, client := newTestServer(t, slowCatalog(t), Config{TimeCompression: 1})
+	resCh := make(chan ndjsonResult, 1)
+	go func() {
+		resCh <- postQuery(t, client, ts.URL, map[string]any{
+			"sql": slowJoin, "session": "doomed", "deadline_ms": 60_000,
+		})
+	}()
+	waitInflight(t, client, ts.URL, 1)
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/session/doomed", nil)
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE session = %d", resp.StatusCode)
+	}
+
+	res := <-resCh
+	ok := res.errLine != "" || res.status != http.StatusOK
+	if !ok {
+		t.Fatalf("session query survived session close: status=%d trailer=%v", res.status, res.trailer)
+	}
+	msg := res.errLine
+	if msg != "" && !strings.Contains(msg, "session") {
+		t.Errorf("cancel cause does not mention the session: %q", msg)
+	}
+	srv.Shutdown(50 * time.Millisecond)
+}
+
+// TestHealthzAndTables sanity-checks the observability endpoints.
+func TestHealthzAndTables(t *testing.T) {
+	_, ts, client := newTestServer(t, memCatalog(t, time.Microsecond), Config{})
+	resp, err := client.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h struct {
+		Status string   `json:"status"`
+		Tables []string `json:"tables"`
+	}
+	json.NewDecoder(resp.Body).Decode(&h)
+	resp.Body.Close()
+	if h.Status != "ok" || len(h.Tables) != 3 {
+		t.Errorf("healthz = %+v", h)
+	}
+
+	postQuery(t, client, ts.URL, map[string]any{"sql": threeWayJoin})
+	mresp, err := client.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := new(strings.Builder)
+	io.Copy(body, mresp.Body)
+	mresp.Body.Close()
+	for _, want := range []string{
+		`stemsd_queries_total{status="ok"} 1`,
+		"stemsd_rows_streamed_total 5",
+		"stemsd_catalog_tables 3",
+		"stemsd_routing_steps_total",
+	} {
+		if !strings.Contains(body.String(), want) {
+			t.Errorf("metrics missing %q:\n%s", want, body)
+		}
+	}
+}

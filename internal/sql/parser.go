@@ -6,11 +6,54 @@
 //
 //	comparison := operand ( = | <> | != | < | <= | > | >= ) operand
 //	operand    := [alias '.'] column | integer | 'string'
+//
+// and the catalog-mutating statement of the serving layer:
+//
+//	REGISTER TABLE name FROM 'path.csv' ( INDEX column LATENCY duration )*
+//
+// REGISTER, TABLE, INDEX, and LATENCY are contextual words — they stay
+// usable as column and table identifiers inside SELECT statements.
+//
+// Parse errors report the byte offset of the offending token ("position
+// N"); statements are single-line, so the offset is also the 0-based
+// column.
 package sql
 
 import (
 	"fmt"
+	"strings"
+	"time"
 )
+
+// Statement is any parsed statement: *Stmt (a SELECT) or *RegisterStmt
+// (a catalog registration).
+type Statement interface{ isStatement() }
+
+func (*Stmt) isStatement()         {}
+func (*RegisterStmt) isStatement() {}
+
+// RegisterStmt is a parsed REGISTER TABLE statement: it asks the serving
+// layer to load a CSV file into the shared catalog under the given name,
+// optionally declaring asynchronous index access methods over single
+// columns. Execution (file IO, schema inference) is the catalog owner's
+// job, not the parser's.
+type RegisterStmt struct {
+	// Name is the catalog name the table registers under.
+	Name string
+	// Path is the CSV path as written (resolution against a data directory
+	// is the executor's concern).
+	Path string
+	// Indexes declare index access methods to build over the loaded table.
+	Indexes []RegisterIndex
+}
+
+// RegisterIndex is one INDEX clause of a REGISTER TABLE statement.
+type RegisterIndex struct {
+	// Col is the key column name.
+	Col string
+	// Latency is the modeled per-lookup round-trip cost.
+	Latency time.Duration
+}
 
 // Stmt is a parsed SELECT statement.
 type Stmt struct {
@@ -91,17 +134,36 @@ type parser struct {
 
 // Parse parses one SELECT statement.
 func Parse(src string) (*Stmt, error) {
+	st, err := ParseStatement(src)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := st.(*Stmt)
+	if !ok {
+		return nil, fmt.Errorf("sql: expected a SELECT statement, got REGISTER")
+	}
+	return sel, nil
+}
+
+// ParseStatement parses one statement of any kind: a SELECT (returned as
+// *Stmt) or a REGISTER TABLE (returned as *RegisterStmt).
+func ParseStatement(src string) (Statement, error) {
 	toks, err := lex(src)
 	if err != nil {
 		return nil, err
 	}
 	p := &parser{toks: toks}
-	st, err := p.stmt()
+	var st Statement
+	if p.atWord("REGISTER") {
+		st, err = p.register()
+	} else {
+		st, err = p.stmt()
+	}
 	if err != nil {
 		return nil, err
 	}
 	if !p.at(tokEOF, "") {
-		return nil, fmt.Errorf("sql: unexpected %s after statement", p.cur())
+		return nil, p.errAt("unexpected %s after statement", p.cur())
 	}
 	return st, nil
 }
@@ -109,9 +171,30 @@ func Parse(src string) (*Stmt, error) {
 func (p *parser) cur() token  { return p.toks[p.i] }
 func (p *parser) next() token { t := p.toks[p.i]; p.i++; return t }
 
+// errAt wraps a parse error with the byte offset of the current token.
+func (p *parser) errAt(format string, args ...any) error {
+	return fmt.Errorf("sql: position %d: %s", p.cur().pos, fmt.Sprintf(format, args...))
+}
+
 func (p *parser) at(k tokKind, text string) bool {
 	t := p.cur()
 	return t.kind == k && (text == "" || t.text == text)
+}
+
+// atWord reports whether the current token is the given contextual word —
+// an identifier (or keyword) matched case-insensitively, so serving-layer
+// words like TABLE stay usable as ordinary identifiers elsewhere.
+func (p *parser) atWord(w string) bool {
+	t := p.cur()
+	return (t.kind == tokIdent || t.kind == tokKeyword) && strings.EqualFold(t.text, w)
+}
+
+func (p *parser) acceptWord(w string) bool {
+	if p.atWord(w) {
+		p.i++
+		return true
+	}
+	return false
 }
 
 func (p *parser) accept(k tokKind, text string) bool {
@@ -126,7 +209,72 @@ func (p *parser) expect(k tokKind, text, what string) (token, error) {
 	if p.at(k, text) {
 		return p.next(), nil
 	}
-	return token{}, fmt.Errorf("sql: expected %s, got %s", what, p.cur())
+	return token{}, p.errAt("expected %s, got %s", what, p.cur())
+}
+
+// register parses REGISTER TABLE name FROM 'path' (INDEX col LATENCY d)*.
+// The leading REGISTER word has been recognized but not consumed.
+func (p *parser) register() (*RegisterStmt, error) {
+	p.next() // REGISTER
+	if !p.acceptWord("TABLE") {
+		return nil, p.errAt("expected TABLE, got %s", p.cur())
+	}
+	name, err := p.expect(tokIdent, "", "table name")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokKeyword, "FROM", "FROM"); err != nil {
+		return nil, err
+	}
+	path, err := p.expect(tokString, "", "quoted CSV path")
+	if err != nil {
+		return nil, err
+	}
+	st := &RegisterStmt{Name: name.text, Path: path.text}
+	for p.acceptWord("INDEX") {
+		col, err := p.expect(tokIdent, "", "index column")
+		if err != nil {
+			return nil, err
+		}
+		if !p.acceptWord("LATENCY") {
+			return nil, p.errAt("expected LATENCY, got %s", p.cur())
+		}
+		d, err := p.duration()
+		if err != nil {
+			return nil, err
+		}
+		st.Indexes = append(st.Indexes, RegisterIndex{Col: col.text, Latency: d})
+	}
+	return st, nil
+}
+
+// duration parses a latency: either a quoted Go duration ('200ms') or a
+// number immediately followed by its unit (200ms, which lexes as the number
+// 200 and the identifier ms).
+func (p *parser) duration() (time.Duration, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokString:
+		p.next()
+		d, err := time.ParseDuration(t.text)
+		if err != nil || d < 0 {
+			return 0, fmt.Errorf("sql: position %d: bad duration %q (want a non-negative Go duration)", t.pos, t.text)
+		}
+		return d, nil
+	case tokNumber:
+		p.next()
+		if p.cur().kind != tokIdent {
+			return 0, fmt.Errorf("sql: position %d: duration %s needs a unit (e.g. %sms)", t.pos, t.text, t.text)
+		}
+		unit := p.next()
+		d, err := time.ParseDuration(t.text + unit.text)
+		if err != nil || d < 0 {
+			return 0, fmt.Errorf("sql: position %d: bad duration %q (want a non-negative Go duration)", t.pos, t.text+unit.text)
+		}
+		return d, nil
+	default:
+		return 0, p.errAt("expected duration, got %s", t)
+	}
 }
 
 func (p *parser) stmt() (*Stmt, error) {
@@ -218,7 +366,7 @@ func (p *parser) stmt() (*Stmt, error) {
 		v := 0
 		for _, ch := range n.text {
 			if ch == '-' {
-				return nil, fmt.Errorf("sql: negative LIMIT")
+				return nil, fmt.Errorf("sql: position %d: negative LIMIT", n.pos)
 			}
 			v = v*10 + int(ch-'0')
 		}
@@ -271,7 +419,7 @@ func (p *parser) operand() (Operand, error) {
 		}
 		return Operand{Kind: OpCol, Col: c}, nil
 	default:
-		return Operand{}, fmt.Errorf("sql: expected operand, got %s", t)
+		return Operand{}, p.errAt("expected operand, got %s", t)
 	}
 }
 

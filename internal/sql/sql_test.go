@@ -3,6 +3,7 @@ package sql
 import (
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/clock"
 	"repro/internal/eddy"
@@ -323,5 +324,100 @@ func TestIndexedSourceEndToEnd(t *testing.T) {
 	}
 	if len(outs) != 2 {
 		t.Errorf("got %d rows, want 2", len(outs))
+	}
+}
+
+// --- parse-error positions (satellite: errors report byte offsets) ---
+
+// TestParseErrorPositions checks that malformed statements report the byte
+// offset of the offending token. Statements are single-line, so the offset
+// doubles as the 0-based column.
+func TestParseErrorPositions(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string // substring of the error, including "position N"
+	}{
+		{"unterminated string", "SELECT * FROM r WHERE name = 'oops", "position 29: unterminated string"},
+		{"dangling AND", "SELECT * FROM r WHERE a = 1 AND", "position 31: expected operand"},
+		{"unknown keyword", "SELEC * FROM r", "position 0: expected SELECT"},
+		{"misspelled FROM", "SELECT * FORM r", "position 9: expected FROM"},
+		{"stray rune", "SELECT * FROM r WHERE a = $", "position 26: unexpected"},
+		{"missing operand", "SELECT * FROM r WHERE = 1", "position 22: expected operand"},
+		{"trailing garbage", "SELECT * FROM r WHERE a = 1 1", "position 28: unexpected"},
+		{"dot without column", "SELECT a. FROM r", "position 10: expected column name"},
+		{"negative limit", "SELECT * FROM r LIMIT -3", "position 22: negative LIMIT"},
+		{"register missing TABLE", "REGISTER people FROM 'p.csv'", "position 9: expected TABLE"},
+		{"register unquoted path", "REGISTER TABLE p FROM p.csv", "position 22: expected quoted CSV path"},
+		{"register unitless latency", "REGISTER TABLE p FROM 'p.csv' INDEX id LATENCY 200", "position 47: duration 200 needs a unit"},
+		{"register bad duration", "REGISTER TABLE p FROM 'p.csv' INDEX id LATENCY 'soon'", "bad duration \"soon\""},
+		{"register negative latency", "REGISTER TABLE p FROM 'p.csv' INDEX id LATENCY -50ms", "bad duration \"-50ms\""},
+		{"register negative quoted latency", "REGISTER TABLE p FROM 'p.csv' INDEX id LATENCY '-1s'", "bad duration \"-1s\""},
+		{"register missing LATENCY", "REGISTER TABLE p FROM 'p.csv' INDEX id 200ms", "position 39: expected LATENCY"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := ParseStatement(c.src)
+			if err == nil {
+				t.Fatalf("%q: want parse error", c.src)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("%q:\n  error = %v\n  want substring %q", c.src, err, c.want)
+			}
+		})
+	}
+}
+
+// --- REGISTER TABLE ---
+
+func TestParseRegister(t *testing.T) {
+	st, err := ParseStatement("REGISTER TABLE people FROM 'data/people.csv'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, ok := st.(*RegisterStmt)
+	if !ok {
+		t.Fatalf("parsed %T, want *RegisterStmt", st)
+	}
+	if reg.Name != "people" || reg.Path != "data/people.csv" || len(reg.Indexes) != 0 {
+		t.Errorf("parsed %+v", reg)
+	}
+}
+
+func TestParseRegisterIndexes(t *testing.T) {
+	st, err := ParseStatement("register table t from 'x.csv' index id latency 200ms index name latency '1s'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := st.(*RegisterStmt)
+	if len(reg.Indexes) != 2 {
+		t.Fatalf("indexes = %+v", reg.Indexes)
+	}
+	if reg.Indexes[0].Col != "id" || reg.Indexes[0].Latency != 200*time.Millisecond {
+		t.Errorf("index[0] = %+v", reg.Indexes[0])
+	}
+	if reg.Indexes[1].Col != "name" || reg.Indexes[1].Latency != time.Second {
+		t.Errorf("index[1] = %+v", reg.Indexes[1])
+	}
+}
+
+// TestContextualWordsStayIdentifiers: REGISTER's TABLE/INDEX/LATENCY words
+// must not become reserved — they are valid table and column names in a
+// SELECT.
+func TestContextualWordsStayIdentifiers(t *testing.T) {
+	st, err := Parse("SELECT index, latency FROM register WHERE table_ = 1 AND index >= 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Select) != 2 || st.Select[0].Col != "index" || st.From[0].Source != "register" {
+		t.Errorf("parsed %+v", st)
+	}
+}
+
+// TestParseRejectsRegister: the SELECT-only entry point refuses a REGISTER
+// statement instead of misparsing it.
+func TestParseRejectsRegister(t *testing.T) {
+	if _, err := Parse("REGISTER TABLE p FROM 'p.csv'"); err == nil {
+		t.Fatal("Parse must reject REGISTER statements")
 	}
 }

@@ -26,6 +26,7 @@
 package stems
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"strings"
@@ -94,6 +95,12 @@ const (
 type Options struct {
 	Engine Engine
 	Policy Policy
+	// Context, when non-nil, cancels the run: deadlines, client
+	// disconnects, and server shutdown stop the eddy mid-query instead of
+	// letting it route to completion. The run returns the results produced
+	// so far plus an error wrapping Context.Err(). RunContext sets this
+	// from its argument.
+	Context context.Context
 	// Seed feeds the randomized policies; 0 means 1.
 	Seed int64
 	// TimeCompression scales the Concurrent engine's clock: 0.001 (default)
@@ -441,6 +448,15 @@ func (q *Query) Build() (*query.Q, error) {
 	return query.New(q.tables, q.preds, q.ams)
 }
 
+// RunContext executes the query under a cancellation context: when ctx is
+// canceled the engine stops routing and RunContext returns the results
+// produced so far plus an error wrapping ctx.Err(). It is Run with
+// Options.Context set.
+func (q *Query) RunContext(ctx context.Context, opts Options) (*Result, error) {
+	opts.Context = ctx
+	return q.Run(opts)
+}
+
 // Run executes the query and collects all results.
 func (q *Query) Run(opts Options) (*Result, error) {
 	iq, err := q.Build()
@@ -513,10 +529,15 @@ func (q *Query) Run(opts Options) (*Result, error) {
 				opts.OnResult(Row{At: time.Duration(at), q: iq, t: t})
 			}
 		}
-		outs, err = eng.Run()
+		ctx := opts.Context
+		if ctx == nil {
+			ctx = context.Background()
+		}
+		outs, err = eng.RunContext(ctx)
 	default:
 		sim := eddy.NewSim(r)
 		sim.Deadline = clock.Time(opts.Deadline)
+		sim.Ctx = opts.Context
 		if opts.OnResult != nil {
 			sim.OnOutput = func(t *tuple.Tuple, at clock.Time) {
 				opts.OnResult(Row{At: time.Duration(at), q: iq, t: t})
