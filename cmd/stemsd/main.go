@@ -61,6 +61,8 @@ func main() {
 	deadline := flag.Duration("deadline", 30*time.Second, "default per-query deadline")
 	maxDeadline := flag.Duration("max-deadline", 5*time.Minute, "cap on client-requested deadlines")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain window for in-flight queries")
+	memBudget := flag.Int64("mem-budget", 0, "per-query resident SteM byte budget; rows beyond it spill to disk and replay (0 disables). Total SteM footprint is bounded by -max-inflight times this")
+	spillDir := flag.String("spill-dir", "", "directory for per-query spill segments (each query gets a private subdirectory, removed when it ends); empty uses the system temp dir")
 	flag.Parse()
 
 	cat := server.NewCatalog(*scanInterval, *dataDir)
@@ -79,6 +81,8 @@ func main() {
 		BatchSize:       *batch,
 		Shards:          *shards,
 		TimeCompression: *compression,
+		MemBudgetBytes:  *memBudget,
+		SpillDir:        *spillDir,
 	})
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}

@@ -35,6 +35,7 @@ import (
 	"repro/internal/policy"
 	"repro/internal/server"
 	"repro/internal/sql"
+	"repro/internal/stem"
 	"repro/internal/trace"
 	"repro/internal/tuple"
 )
@@ -57,6 +58,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "seed for randomized policies")
 	timing := flag.Bool("timing", false, "print per-result virtual emission times and run stats")
 	explain := flag.Bool("explain", false, "print a per-module adaptive-execution report after the results")
+	memBudget := flag.Int64("mem-budget", 0, "resident SteM byte budget per statement; rows beyond it spill to disk and replay (0 disables)")
+	spillDir := flag.String("spill-dir", "", "directory for spill segments (a private per-run subdirectory is created and removed); empty uses the system temp dir")
 	flag.Parse()
 
 	cat := server.NewCatalog(*scanInterval, "")
@@ -65,7 +68,7 @@ func main() {
 		os.Exit(1)
 	}
 	runOne := func(stmt string) bool {
-		if err := run(stmt, cat, *policyName, *engineName, *batch, *shards, *seed, *timing, *explain); err != nil {
+		if err := run(stmt, cat, *policyName, *engineName, *batch, *shards, *seed, *timing, *explain, *memBudget, *spillDir); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return false
 		}
@@ -147,7 +150,7 @@ func splitStatements(s string) (complete []string, rest string) {
 	return complete, strings.TrimLeft(s[start:], " \t\n")
 }
 
-func run(stmtSrc string, cat *server.Catalog, policyName, engineName string, batch, shards int, seed int64, timing, explain bool) error {
+func run(stmtSrc string, cat *server.Catalog, policyName, engineName string, batch, shards int, seed int64, timing, explain bool, memBudget int64, spillDir string) error {
 	parsed, err := sql.ParseStatement(stmtSrc)
 	if err != nil {
 		return err
@@ -170,7 +173,20 @@ func run(stmtSrc string, cat *server.Catalog, policyName, engineName string, bat
 	if err != nil {
 		return fmt.Errorf("stemsql: %w", err)
 	}
-	r, err := eddy.NewRouter(bound.Q, eddy.Options{Policy: pol, Shards: shards})
+	ropts := eddy.Options{Policy: pol, Shards: shards}
+	var gov *stem.Governor
+	if memBudget > 0 {
+		if spillDir == "" {
+			spillDir = os.TempDir()
+		}
+		gov, err = stem.NewSpillGovernor(memBudget, stem.AllocByProbes, spillDir)
+		if err != nil {
+			return err
+		}
+		defer gov.Close()
+		ropts.Governor = gov
+	}
+	r, err := eddy.NewRouter(bound.Q, ropts)
 	if err != nil {
 		return err
 	}
@@ -198,6 +214,11 @@ func run(stmtSrc string, cat *server.Catalog, policyName, engineName string, bat
 	}
 	if err != nil {
 		return err
+	}
+	if gov != nil {
+		if serr := gov.Err(); serr != nil {
+			return fmt.Errorf("stemsql: spill I/O failed: %w", serr)
+		}
 	}
 	// ORDER BY / LIMIT are applied above the eddy.
 	tuples := make([]*tuple.Tuple, len(outs))

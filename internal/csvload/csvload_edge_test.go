@@ -1,0 +1,105 @@
+package csvload
+
+// Edge-case coverage for the CSV loader: quoting, line endings, ragged and
+// degenerate inputs. The loader must either produce exactly the rows the CSV
+// spec implies or fail loudly — never silently drop or mangle a field.
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/value"
+)
+
+func TestLoadQuotedFieldWithCommas(t *testing.T) {
+	tb, err := Load("t", strings.NewReader("id,name\n1,\"Doe, Jane\"\n2,\"a,b,c\"\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tb.Rows[0][1].Equal(value.NewStr("Doe, Jane")) || !tb.Rows[1][1].Equal(value.NewStr("a,b,c")) {
+		t.Errorf("embedded commas mangled: %v", tb.Rows)
+	}
+}
+
+func TestLoadQuotedFieldWithNewlines(t *testing.T) {
+	tb, err := Load("t", strings.NewReader("id,note\n1,\"line one\nline two\"\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 1 {
+		t.Fatalf("embedded newline split the row: %d rows", len(tb.Rows))
+	}
+	if !tb.Rows[0][1].Equal(value.NewStr("line one\nline two")) {
+		t.Errorf("embedded newline mangled: %v", tb.Rows[0][1])
+	}
+}
+
+func TestLoadQuotedQuote(t *testing.T) {
+	tb, err := Load("t", strings.NewReader("name\n\"O\"\"Brien\"\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tb.Rows[0][0].Equal(value.NewStr(`O"Brien`)) {
+		t.Errorf("escaped quote mangled: %v", tb.Rows[0][0])
+	}
+}
+
+func TestLoadCRLF(t *testing.T) {
+	tb, err := Load("t", strings.NewReader("a,b\r\n1,x\r\n2,y\r\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 2 {
+		t.Fatalf("CRLF input loaded %d rows, want 2", len(tb.Rows))
+	}
+	if tb.Schema.Cols[0].Kind != value.Int {
+		t.Error("CR residue broke integer inference on the first column")
+	}
+	if !tb.Rows[1][1].Equal(value.NewStr("y")) {
+		t.Errorf("CR residue left in last field: %q", tb.Rows[1][1])
+	}
+}
+
+func TestLoadEmptyFile(t *testing.T) {
+	if _, err := Load("t", strings.NewReader("")); err == nil {
+		t.Error("empty file must error (no header row)")
+	}
+	if _, err := Load("t", strings.NewReader("\n")); err == nil {
+		t.Error("blank-line-only file must error")
+	}
+}
+
+func TestLoadHeaderOnly(t *testing.T) {
+	tb, err := Load("t", strings.NewReader("a,b\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 0 || tb.Schema.Arity() != 2 {
+		t.Errorf("header-only file: rows=%d arity=%d", len(tb.Rows), tb.Schema.Arity())
+	}
+}
+
+func TestLoadRaggedRows(t *testing.T) {
+	cases := []string{
+		"a,b\n1\n",         // short row
+		"a,b\n1,2,3\n",     // long row
+		"a,b\n1,2\n3\n4,5", // ragged in the middle
+	}
+	for _, src := range cases {
+		if _, err := Load("t", strings.NewReader(src)); err == nil {
+			t.Errorf("%q: ragged rows must error, not load misaligned", src)
+		}
+	}
+}
+
+func TestLoadDuplicateHeaders(t *testing.T) {
+	if _, err := Load("t", strings.NewReader("id,id\n1,2\n")); err == nil {
+		t.Error("duplicate headers must error")
+	}
+	// Case-insensitive duplicates collide at bind time if allowed; the
+	// schema layer decides — assert the loader surfaces whatever it does
+	// deterministically rather than panicking.
+	if _, err := Load("t", strings.NewReader("id,ID\n1,2\n")); err != nil {
+		t.Logf("case-varying duplicate rejected: %v", err)
+	}
+}

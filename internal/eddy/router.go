@@ -280,6 +280,24 @@ func (r *Router) Stuck() uint64 { return r.stuck.Load() }
 // Routed returns the number of routing decisions made.
 func (r *Router) Routed() uint64 { return r.routed.Load() }
 
+// DrainSpill implements the engines' spill-drain hook: at quiescence —
+// every EOT delivered, no tuple in flight — each SteM with real disk spill
+// replays its recorded probes against its spilled partitions and the
+// regenerated results re-enter the dataflow. Engines iterate the drain until
+// it returns nothing: a replayed result may probe another spilled SteM,
+// recording a fresh replay obligation for the next round. Returns nil
+// whenever real spill is off, so ungoverned runs are untouched.
+func (r *Router) DrainSpill() []flow.Emission {
+	if !r.opts.Governor.SpillActive() {
+		return nil
+	}
+	var out []flow.Emission
+	for _, s := range r.stems {
+		out = append(out, s.DrainSpill()...)
+	}
+	return out
+}
+
 // Seeds returns the seed tuples that initialize every scan AM (step 5).
 func (r *Router) Seeds() []*tuple.Tuple {
 	n := r.Q.NumTables()

@@ -12,12 +12,14 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"os"
 	"time"
 
 	"repro/internal/clock"
 	"repro/internal/eddy"
 	"repro/internal/policy"
 	"repro/internal/sql"
+	"repro/internal/stem"
 	"repro/internal/tuple"
 	"repro/internal/value"
 )
@@ -256,7 +258,40 @@ func (s *Server) execute(ctx context.Context, req QueryRequest, st *sql.Stmt, si
 	if shards == 0 {
 		shards = s.cfg.Shards
 	}
-	r, err := eddy.NewRouter(bound.Q, eddy.Options{Policy: pol, Shards: shards})
+	ropts := eddy.Options{Policy: pol, Shards: shards}
+	// Per-query memory limit: every admitted query runs under its own byte
+	// governor (real disk spill + replay), so MaxInFlight × budget bounds
+	// the server's total SteM footprint. Client requests tighten the server
+	// limit, never exceed it — and never enable disk spill on a server
+	// whose operator left it off (client-controlled disk I/O must be an
+	// operator opt-in).
+	if req.MemBudgetBytes < 0 {
+		return stats, userError{fmt.Errorf("mem_budget_bytes must be >= 0, got %d", req.MemBudgetBytes)}
+	}
+	budget := int64(0)
+	if s.cfg.MemBudgetBytes > 0 {
+		budget = req.MemBudgetBytes
+		if budget == 0 || budget > s.cfg.MemBudgetBytes {
+			budget = s.cfg.MemBudgetBytes
+		}
+	}
+	var gov *stem.Governor
+	if budget > 0 {
+		dir := s.cfg.SpillDir
+		if dir == "" {
+			dir = os.TempDir()
+		}
+		gov, err = stem.NewSpillGovernor(budget, stem.AllocByProbes, dir)
+		if err != nil {
+			return stats, err
+		}
+		// Close removes every spill segment on any exit, including a
+		// session DELETE or deadline canceling the run mid-join.
+		defer gov.Close()
+		defer s.trackGovernor(gov)()
+		ropts.Governor = gov
+	}
+	r, err := eddy.NewRouter(bound.Q, ropts)
 	if err != nil {
 		return stats, userError{err}
 	}
@@ -313,6 +348,11 @@ func (s *Server) execute(ctx context.Context, req QueryRequest, st *sql.Stmt, si
 	stats.Elapsed = time.Since(start)
 	if runErr != nil {
 		return stats, runErr
+	}
+	if gov != nil {
+		if serr := gov.Err(); serr != nil {
+			return stats, fmt.Errorf("spill I/O failed (results fell back to resident storage): %w", serr)
+		}
 	}
 	if sinkErr != nil {
 		return stats, sinkErr

@@ -73,11 +73,13 @@ func (m *metrics) register() {
 
 // gauges are point-in-time values the Server owns; passed in at render time.
 type gauges struct {
-	inflight int64
-	queued   int64
-	sessions int
-	tables   int
-	draining bool
+	inflight      int64
+	queued        int64
+	sessions      int
+	tables        int
+	draining      bool
+	spillResident int64
+	spillSpilled  int64
 }
 
 // write renders the counters in the Prometheus text exposition format.
@@ -117,6 +119,10 @@ func (m *metrics) write(w io.Writer, g gauges) {
 	fmt.Fprintf(w, "stemsd_sessions_active %d\n", g.sessions)
 	gauge("stemsd_catalog_tables", "Tables registered in the shared catalog.")
 	fmt.Fprintf(w, "stemsd_catalog_tables %d\n", g.tables)
+	gauge("stemsd_stem_resident_bytes", "Resident SteM row footprint across executing queries under a memory budget.")
+	fmt.Fprintf(w, "stemsd_stem_resident_bytes %d\n", g.spillResident)
+	gauge("stemsd_stem_spilled_bytes", "SteM row footprint spilled to disk across executing queries.")
+	fmt.Fprintf(w, "stemsd_stem_spilled_bytes %d\n", g.spillSpilled)
 	draining := 0
 	if g.draining {
 		draining = 1

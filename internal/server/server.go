@@ -23,6 +23,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/stem"
 )
 
 // Config tunes the server. Zero values take the documented defaults.
@@ -50,6 +52,19 @@ type Config struct {
 	// TimeCompression scales the concurrent engine's clock (default 0.001:
 	// one modeled second per wall millisecond).
 	TimeCompression float64
+	// MemBudgetBytes, when >0, bounds each query's resident SteM state at
+	// admission: every admitted query runs under a byte governor with this
+	// budget, spilling the excess to disk and replaying it (out-of-core
+	// joins). Combined with MaxInFlight it bounds the server's total SteM
+	// footprint at MaxInFlight × MemBudgetBytes. Clients may request a
+	// smaller budget per query; requests above this cap are capped. 0
+	// disables governance entirely — client budget requests are then
+	// ignored, so spill I/O is strictly an operator opt-in.
+	MemBudgetBytes int64
+	// SpillDir is where per-query spill segments live (each query gets a
+	// private os.Root-confined subdirectory, removed when the query ends);
+	// empty defaults to os.TempDir().
+	SpillDir string
 }
 
 func (c Config) withDefaults() Config {
@@ -139,6 +154,11 @@ type Server struct {
 	smu      sync.Mutex
 	sessions map[string]*session
 	sid      atomic.Uint64
+
+	// govs tracks the live per-query spill governors, so /metrics can gauge
+	// resident and spilled SteM bytes across the whole server.
+	govMu sync.Mutex
+	govs  map[*stem.Governor]struct{}
 }
 
 // New builds a server over the catalog.
@@ -153,6 +173,7 @@ func New(cat *Catalog, cfg Config) *Server {
 		cancelBase: cancelBase,
 		sem:        make(chan struct{}, cfg.MaxInFlight),
 		sessions:   make(map[string]*session),
+		govs:       make(map[*stem.Governor]struct{}),
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /query", s.handleQuery)
@@ -290,13 +311,41 @@ func (s *Server) sessionCount() int {
 	return len(s.sessions)
 }
 
+// trackGovernor registers a query's spill governor for the byte gauges and
+// returns the matching untrack func.
+func (s *Server) trackGovernor(g *stem.Governor) func() {
+	s.govMu.Lock()
+	s.govs[g] = struct{}{}
+	s.govMu.Unlock()
+	return func() {
+		s.govMu.Lock()
+		delete(s.govs, g)
+		s.govMu.Unlock()
+	}
+}
+
+// spillBytes sums resident and spilled SteM footprint over live governors.
+func (s *Server) spillBytes() (resident, spilled int64) {
+	s.govMu.Lock()
+	defer s.govMu.Unlock()
+	for g := range s.govs {
+		r, sp := g.BytesStats()
+		resident += r
+		spilled += sp
+	}
+	return resident, spilled
+}
+
 func (s *Server) gauges() gauges {
+	res, sp := s.spillBytes()
 	return gauges{
-		inflight: int64(len(s.sem)),
-		queued:   s.queued.Load(),
-		sessions: s.sessionCount(),
-		tables:   s.cat.Len(),
-		draining: s.draining.Load(),
+		inflight:      int64(len(s.sem)),
+		queued:        s.queued.Load(),
+		sessions:      s.sessionCount(),
+		tables:        s.cat.Len(),
+		draining:      s.draining.Load(),
+		spillResident: res,
+		spillSpilled:  sp,
 	}
 }
 
@@ -320,6 +369,12 @@ type QueryRequest struct {
 	Batch int `json:"batch,omitempty"`
 	// Shards overrides the SteM shard count.
 	Shards int `json:"shards,omitempty"`
+	// MemBudgetBytes tightens this query's resident SteM byte budget; rows
+	// beyond it spill to disk and replay (out-of-core join). 0 takes the
+	// server default; values above the server cap are capped, and the knob
+	// is ignored entirely when the server runs without a budget — clients
+	// cannot switch disk spill on.
+	MemBudgetBytes int64 `json:"mem_budget_bytes,omitempty"`
 }
 
 func writeJSONError(w http.ResponseWriter, code int, err error) {

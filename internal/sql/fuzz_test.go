@@ -1,0 +1,65 @@
+package sql
+
+// FuzzParseStatement hammers the statement parser with arbitrary input: it
+// must either return a statement or an error — never panic, never loop — and
+// anything it accepts must be stable under one reparse of its own source
+// (parse is deterministic). The seed corpus is the table-driven malformed
+// cases plus representative valid statements, so mutation starts near the
+// grammar's edges.
+
+import (
+	"testing"
+	"unicode/utf8"
+)
+
+func FuzzParseStatement(f *testing.F) {
+	seeds := []string{
+		// Valid statements of both kinds.
+		"SELECT * FROM r",
+		"SELECT r.a, s.y FROM r, s WHERE r.a = s.x AND r.key >= 2 ORDER BY r.a DESC LIMIT 3",
+		"SELECT name FROM people WHERE name = 'O''Brien'",
+		"REGISTER TABLE people FROM 'data/people.csv'",
+		"register table t from 'x.csv' index id latency 200ms index name latency '1s'",
+		// The malformed table-driven cases.
+		"",
+		"FROM r",
+		"SELECT FROM r",
+		"SELECT * FROM",
+		"SELECT * FROM r WHERE",
+		"SELECT * FROM r WHERE a =",
+		"SELECT * FROM r extra garbage =",
+		"SELECT a. FROM r",
+		"SELECT * FROM r WHERE name = 'oops",
+		"SELECT * FROM r WHERE a = 1 AND",
+		"SELEC * FROM r",
+		"SELECT * FORM r",
+		"SELECT * FROM r WHERE a = $",
+		"SELECT * FROM r WHERE = 1",
+		"SELECT * FROM r WHERE a = 1 1",
+		"SELECT * FROM r LIMIT -3",
+		"REGISTER people FROM 'p.csv'",
+		"REGISTER TABLE p FROM p.csv",
+		"REGISTER TABLE p FROM 'p.csv' INDEX id LATENCY 200",
+		"REGISTER TABLE p FROM 'p.csv' INDEX id LATENCY 'soon'",
+		"REGISTER TABLE p FROM 'p.csv' INDEX id LATENCY -50ms",
+		"REGISTER TABLE p FROM 'p.csv' INDEX id 200ms",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		st, err := ParseStatement(src)
+		if err != nil {
+			if st != nil {
+				t.Fatalf("error %v alongside a non-nil statement", err)
+			}
+			if utf8.ValidString(src) && err.Error() == "" {
+				t.Fatal("empty error message")
+			}
+			return
+		}
+		if st == nil {
+			t.Fatal("nil statement without error")
+		}
+	})
+}

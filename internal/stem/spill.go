@@ -1,0 +1,601 @@
+// spill.go makes the Section 6 extension real: instead of modelling spilled
+// rows with a probe-latency penalty, a governed SteM writes rows the byte
+// budget cannot hold to per-shard, per-hash-partition append-only spill
+// segments on disk, and regenerates the results those rows owe through a
+// Grace-join-style replay pass.
+//
+// The design hinges on one invariant that keeps results set-identical to an
+// unbounded run at any budget:
+//
+//   - A row is placed exactly once, at build time: either it enters the
+//     resident dictionary (and is matched live, like today), or it is
+//     appended to its partition's segment (and is only ever matched by
+//     replay). Rows never migrate memory→disk after a probe could have seen
+//     them, so "was it resident at probe time" is a property of the row, not
+//     of history.
+//   - Every probe that might miss spilled matches is recorded: a snapshot of
+//     the probe tuple plus the exact TimeStamp window it was entitled to,
+//     (LastMatchTS, min(probeTS, highWater+1)), against the partitions that
+//     held data at probe time. highWater is the shard's max build timestamp
+//     across resident AND spilled inserts; bounced probes advance their
+//     LastMatchTS to it, so the windows of successive recordings of one
+//     tuple are disjoint and no spilled row is ever replayed twice for the
+//     same prober.
+//   - Replay concatenates each recorded probe with the spilled rows in its
+//     window (re-verifying every predicate, exactly like a live probe) and
+//     emits the results back into the dataflow, where they route onward —
+//     possibly probing other spilled SteMs, which records them again; the
+//     engines iterate the drain until the dataflow stays empty.
+//   - The governor's probe-frequency rebalancing may recall ("un-spill") a
+//     hot partition when its allocation has room: outstanding recordings
+//     replay against the partition first (and mark it done), then its rows
+//     enter the resident dictionary and the segment is deleted, so future
+//     probes match them live and nothing is lost or duplicated.
+//
+// Segments are confined to a per-run directory opened through an os.Root
+// (like the server's REGISTER paths) and are removed by Governor.Close on
+// any exit, including cancellation.
+package stem
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"slices"
+
+	"repro/internal/flow"
+	"repro/internal/tuple"
+	"repro/internal/value"
+)
+
+// spillPartitions is the number of hash partitions per shard; replay loads
+// one partition at a time, so it bounds replay memory the way Grace's
+// partition count does. It must stay ≤ 64: recordings track partitions in a
+// uint64 bitmask.
+const spillPartitions = 16
+
+// spillPartMask selects a partition from the high hash bits — the low bits
+// already pick the shard, and reusing them would leave most partitions of a
+// sharded SteM empty.
+func spillPartOf(v value.V) int {
+	return int((v.Hash64() >> 32) & (spillPartitions - 1))
+}
+
+// RowFootprint estimates the resident bytes of one stored row: the slice
+// header and per-entry index bookkeeping, plus the value structs and their
+// string payloads. The byte governor accounts rows at this granularity.
+func RowFootprint(row tuple.Row) int64 {
+	fp := int64(48)
+	for _, v := range row {
+		fp += 32 + int64(len(v.S))
+	}
+	return fp
+}
+
+// ---------------------------------------------------------------------------
+// Segment codec: length-delimited entries, [ts:8][ncols:uvarint] then one
+// value per column as [kind:1][payload] (Int: 8 bytes LE; Str: uvarint length
+// + bytes; Null/EOT: no payload).
+
+// appendEntry encodes one entry onto buf.
+func appendEntry(buf []byte, row tuple.Row, ts tuple.Timestamp) []byte {
+	buf = binary.LittleEndian.AppendUint64(buf, ts)
+	buf = binary.AppendUvarint(buf, uint64(len(row)))
+	for _, v := range row {
+		buf = append(buf, byte(v.K))
+		switch v.K {
+		case value.Int:
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(v.I))
+		case value.Str:
+			buf = binary.AppendUvarint(buf, uint64(len(v.S)))
+			buf = append(buf, v.S...)
+		}
+	}
+	return buf
+}
+
+// decodeEntries decodes a whole segment.
+func decodeEntries(data []byte) ([]Entry, error) {
+	var out []Entry
+	for len(data) > 0 {
+		if len(data) < 8 {
+			return nil, fmt.Errorf("stem: truncated spill entry header")
+		}
+		ts := binary.LittleEndian.Uint64(data)
+		data = data[8:]
+		n, sz := binary.Uvarint(data)
+		if sz <= 0 || n > 1<<20 {
+			return nil, fmt.Errorf("stem: corrupt spill entry column count")
+		}
+		data = data[sz:]
+		row := make(tuple.Row, n)
+		for c := range row {
+			if len(data) < 1 {
+				return nil, fmt.Errorf("stem: truncated spill value")
+			}
+			k := value.Kind(data[0])
+			data = data[1:]
+			switch k {
+			case value.Int:
+				if len(data) < 8 {
+					return nil, fmt.Errorf("stem: truncated spill int")
+				}
+				row[c] = value.NewInt(int64(binary.LittleEndian.Uint64(data)))
+				data = data[8:]
+			case value.Str:
+				l, sz := binary.Uvarint(data)
+				if sz <= 0 || uint64(len(data)-sz) < l {
+					return nil, fmt.Errorf("stem: truncated spill string")
+				}
+				row[c] = value.NewStr(string(data[sz : sz+int(uint(l))]))
+				data = data[sz+int(uint(l)):]
+			case value.Null:
+				row[c] = value.NewNull()
+			case value.EOTMark:
+				row[c] = value.NewEOT()
+			default:
+				return nil, fmt.Errorf("stem: unknown spill value kind %d", k)
+			}
+		}
+		out = append(out, Entry{Row: row, TS: ts})
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Per-shard spill state. All fields are guarded by the owning shard's mutex
+// (or gmu + all shard mutexes on the sweep path), the same synchronization
+// domain as the shard's dictionary.
+
+// spillPart is one hash partition's on-disk state.
+type spillPart struct {
+	seg       *spillSegment
+	rows      int
+	footprint int64 // sum of RowFootprint of the rows on disk
+	ewma      float64
+}
+
+// spillRec is one recorded probe: a snapshot of the probe tuple and the
+// TimeStamp window of spilled matches it is owed, against the partitions
+// that held data when it probed.
+type spillRec struct {
+	snap *tuple.Tuple
+	// ceilTS/floorTS bound the window: an entry matches iff
+	// floorTS < e.TS < ceilTS (the live-probe TimeStamp rule with the
+	// ceiling capped at the record-time high-water mark, so windows of
+	// successive recordings never overlap).
+	ceilTS  tuple.Timestamp
+	floorTS tuple.Timestamp
+	parts   uint64 // partition bitmask to replay against
+	done    uint64 // partitions already replayed (recall or an earlier drain)
+}
+
+// shardSpill is the disk-backed half of one shard.
+type shardSpill struct {
+	s     *SteM
+	sh    *shard
+	shard int
+	parts [spillPartitions]spillPart
+	// hashes counts spilled rows by row hash, the resident side of the
+	// exact duplicate check: a hash hit is verified against the partition
+	// segment (hash-with-verify through the disk).
+	hashes map[uint64]int32
+	// highWater is the largest build timestamp ever inserted into this
+	// shard, resident or spilled. Bounced probes advance LastMatchTS to it.
+	highWater tuple.Timestamp
+	recs      []spillRec
+	probes    uint64 // throttles recall checks
+}
+
+func newShardSpill(s *SteM, sh *shard, idx int) *shardSpill {
+	return &shardSpill{s: s, sh: sh, shard: idx, hashes: make(map[uint64]int32)}
+}
+
+// partOfRow returns the partition a stored row belongs to.
+func (sp *shardSpill) partOfRow(row tuple.Row) int {
+	if sp.s.spillCol < 0 {
+		return 0
+	}
+	return spillPartOf(row[sp.s.spillCol])
+}
+
+// diskBytes returns the total row footprint spilled in this shard.
+func (sp *shardSpill) diskBytes() int64 {
+	var n int64
+	for i := range sp.parts {
+		n += sp.parts[i].footprint
+	}
+	return n
+}
+
+// noteInsert advances the shard's insert high-water mark; called for every
+// build, resident or spilled.
+func (sp *shardSpill) noteInsert(ts tuple.Timestamp) {
+	if ts > sp.highWater {
+		sp.highWater = ts
+	}
+}
+
+// contains reports whether an identical row is already spilled — the exact
+// set-semantics duplicate check for rows the resident dictionary cannot see.
+// The common miss is a map lookup; a hash hit scans the row's partition
+// segment to verify.
+func (sp *shardSpill) contains(row tuple.Row) bool {
+	if sp.hashes[row.Hash64()] == 0 {
+		return false
+	}
+	p := sp.partOfRow(row)
+	entries, err := sp.readPart(p)
+	if err != nil {
+		sp.s.cfg.Gov.fail(err)
+		return false
+	}
+	for _, e := range entries {
+		if e.Row.Equal(row) {
+			return true
+		}
+	}
+	return false
+}
+
+// append spills one freshly built row to its partition's segment, reporting
+// whether the row actually reached disk (false: an I/O failure stored it
+// resident instead).
+func (sp *shardSpill) append(row tuple.Row, ts tuple.Timestamp) bool {
+	p := sp.partOfRow(row)
+	pt := &sp.parts[p]
+	if pt.seg == nil {
+		name := fmt.Sprintf("t%d-s%d-p%d.seg", sp.s.cfg.Table, sp.shard, p)
+		seg, err := newSpillSegment(sp.s.cfg.Gov, name)
+		if err != nil {
+			sp.s.cfg.Gov.fail(err)
+			// Fall back to resident storage: the budget is violated but the
+			// results stay correct.
+			sp.residentFallback(row, ts)
+			return false
+		}
+		pt.seg = seg
+	}
+	if err := pt.seg.append(row, ts); err != nil {
+		sp.s.cfg.Gov.fail(err)
+		sp.residentFallback(row, ts)
+		return false
+	}
+	pt.rows++
+	pt.footprint += RowFootprint(row)
+	sp.hashes[row.Hash64()]++
+	return true
+}
+
+// residentFallback stores a row the spill path failed to write, keeping the
+// run correct at the cost of the budget.
+func (sp *shardSpill) residentFallback(row tuple.Row, ts tuple.Timestamp) {
+	sp.sh.dict.Insert(row, ts)
+	sp.s.liveRows.Add(1)
+	sp.s.cfg.Gov.noteSpillFallback(sp.s.govID, RowFootprint(row))
+}
+
+// readPart flushes and decodes one partition's segment.
+func (sp *shardSpill) readPart(p int) ([]Entry, error) {
+	pt := &sp.parts[p]
+	if pt.seg == nil || pt.rows == 0 {
+		return nil, nil
+	}
+	return pt.seg.readAll()
+}
+
+// relevantParts returns the bitmask of partitions that currently hold data
+// and could contain matches for probe t: the partition of the value t binds
+// to the spill column via an equality predicate, or every non-empty
+// partition when t binds none.
+func (sp *shardSpill) relevantParts(t *tuple.Tuple) uint64 {
+	if sp.s.spillCol >= 0 {
+		if v, ok := sp.s.pcolBinding(t); ok {
+			p := spillPartOf(v)
+			if sp.parts[p].rows > 0 {
+				return 1 << uint(p)
+			}
+			return 0
+		}
+	}
+	var mask uint64
+	for i := range sp.parts {
+		if sp.parts[i].rows > 0 {
+			mask |= 1 << uint(i)
+		}
+	}
+	return mask
+}
+
+// beforeProbe runs the governor's recall hook: it charges the probe to the
+// relevant partitions' frequency estimate and, every 64th probe, recalls the
+// hottest partition if the SteM's allocation has room — replaying its
+// outstanding recordings first, then loading its rows into the resident
+// dictionary. It returns the replay emissions of the recall plus whether a
+// recall mutated the resident dictionary (which may happen with zero
+// emissions, and must still invalidate any cached candidate lists). The
+// shard's mutex is held.
+func (sp *shardSpill) beforeProbe(t *tuple.Tuple) ([]flow.Emission, bool) {
+	mask := sp.relevantParts(t)
+	for p := 0; p < spillPartitions; p++ {
+		if mask&(1<<uint(p)) != 0 {
+			sp.parts[p].ewma++
+		}
+	}
+	sp.probes++
+	if sp.probes&63 != 0 {
+		return nil, false
+	}
+	var cands []int
+	for p := range sp.parts {
+		if sp.parts[p].rows > 0 {
+			cands = append(cands, p)
+		}
+	}
+	slices.SortFunc(cands, func(a, b int) int {
+		switch {
+		case sp.parts[a].ewma > sp.parts[b].ewma:
+			return -1
+		case sp.parts[a].ewma < sp.parts[b].ewma:
+			return 1
+		}
+		return a - b
+	})
+	for p := range sp.parts {
+		sp.parts[p].ewma *= 0.5 // decay (after selection) so the estimate follows the workload
+	}
+	// Hottest partition that fits the headroom wins; a too-large hot
+	// partition must not block a colder one that fits.
+	for _, p := range cands {
+		if sp.s.cfg.Gov.tryRecall(sp.s.govID, sp.parts[p].footprint) {
+			return sp.recallPart(p), true
+		}
+	}
+	return nil, false
+}
+
+// recallPart un-spills one partition: outstanding recordings replay against
+// it (and mark it done), its rows enter the resident dictionary with their
+// original timestamps, and the segment is deleted. The shard's mutex is
+// held; the caller has already moved the partition's bytes to the resident
+// account via Governor.tryRecall.
+func (sp *shardSpill) recallPart(p int) []flow.Emission {
+	pt := &sp.parts[p]
+	entries, err := pt.seg.readAll()
+	if err != nil {
+		sp.s.cfg.Gov.fail(err)
+		sp.s.cfg.Gov.undoRecall(sp.s.govID, pt.footprint)
+		return nil
+	}
+	var out []flow.Emission
+	for i := range sp.recs {
+		rec := &sp.recs[i]
+		bit := uint64(1) << uint(p)
+		if rec.parts&bit == 0 || rec.done&bit != 0 {
+			continue
+		}
+		out = append(out, sp.replayRec(rec, entries)...)
+		rec.done |= bit
+	}
+	for _, e := range entries {
+		sp.sh.dict.Insert(e.Row, e.TS)
+		sp.s.liveRows.Add(1)
+		if n := sp.hashes[e.Row.Hash64()] - 1; n > 0 {
+			sp.hashes[e.Row.Hash64()] = n
+		} else {
+			delete(sp.hashes, e.Row.Hash64())
+		}
+	}
+	sp.sh.stats.Recalls += uint64(len(entries))
+	pt.seg.remove(sp.s.cfg.Gov)
+	*pt = spillPart{}
+	return out
+}
+
+// record snapshots probe t against the relevant partitions. floorTS is the
+// probe's LastMatchTS on entry; the ceiling is its timestamp capped just
+// above the shard's high-water mark, so the window covers exactly the
+// spilled rows the probe could legally have matched right now. The shard's
+// mutex is held.
+func (sp *shardSpill) record(t *tuple.Tuple, probeTS, floorTS tuple.Timestamp) {
+	parts := sp.relevantParts(t)
+	if parts == 0 {
+		return
+	}
+	ceil := probeTS
+	if ceil > sp.highWater {
+		ceil = sp.highWater + 1
+	}
+	if ceil <= floorTS+1 {
+		return // empty window: nothing spilled that this probe is owed
+	}
+	snap := &tuple.Tuple{
+		Comp:   slices.Clone(t.Comp),
+		CompTS: slices.Clone(t.CompTS),
+		Span:   t.Span,
+		Done:   t.Done,
+		Built:  t.Built,
+	}
+	sp.recs = append(sp.recs, spillRec{snap: snap, ceilTS: ceil, floorTS: floorTS, parts: parts})
+}
+
+// replayRec concatenates one recorded probe with the spilled entries in its
+// window, enforcing the same TimeStamp rule and predicate verification as a
+// live probe. The shard's mutex is held.
+func (sp *shardSpill) replayRec(rec *spillRec, entries []Entry) []flow.Emission {
+	s := sp.s
+	scr := &sp.sh.scr
+	preds, ok := scr.predCache[rec.snap.Span]
+	if !ok {
+		preds = s.cfg.Q.JoinPredsConnecting(rec.snap.Span, s.cfg.Table)
+		scr.predCache[rec.snap.Span] = preds
+	}
+	lookupInto(&scr.lk, rec.snap, s.cfg.Table, preds)
+	var out []flow.Emission
+	for _, e := range entries {
+		if e.TS >= rec.ceilTS || e.TS <= rec.floorTS {
+			continue
+		}
+		if !equiMatches(e.Row, &scr.lk) {
+			continue // cheap prefilter; verify would reject it anyway
+		}
+		cat := rec.snap.ConcatRowInto(scr.catScratch, s.cfg.Table, e.Row, e.TS)
+		if !s.verify(cat) {
+			scr.catScratch = cat
+			continue
+		}
+		scr.catScratch = nil
+		sp.sh.stats.ReplayMatches++
+		out = append(out, flow.Emit(cat))
+	}
+	return out
+}
+
+// equiMatches applies a lookup's equality constraints to a raw row.
+func equiMatches(row tuple.Row, lk *Lookup) bool {
+	for i, c := range lk.EquiCols {
+		if !row[c].Equal(lk.EquiVals[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// drainLocked replays every outstanding recording against every partition it
+// still owes, returning the emissions. Fully replayed recordings are
+// dropped. The shard's mutex is held.
+func (sp *shardSpill) drainLocked() []flow.Emission {
+	var out []flow.Emission
+	for p := 0; p < spillPartitions; p++ {
+		bit := uint64(1) << uint(p)
+		needed := false
+		for i := range sp.recs {
+			if sp.recs[i].parts&bit != 0 && sp.recs[i].done&bit == 0 {
+				needed = true
+				break
+			}
+		}
+		if !needed {
+			continue
+		}
+		entries, err := sp.readPart(p)
+		if err != nil {
+			sp.s.cfg.Gov.fail(err)
+			continue
+		}
+		for i := range sp.recs {
+			rec := &sp.recs[i]
+			if rec.parts&bit == 0 || rec.done&bit != 0 {
+				continue
+			}
+			out = append(out, sp.replayRec(rec, entries)...)
+			rec.done |= bit
+		}
+	}
+	live := sp.recs[:0]
+	for i := range sp.recs {
+		if sp.recs[i].done != sp.recs[i].parts {
+			live = append(live, sp.recs[i])
+		}
+	}
+	sp.recs = live
+	return out
+}
+
+// DrainSpill replays every outstanding recorded probe against the spilled
+// partitions it is owed and returns the regenerated results as emissions to
+// re-enter the dataflow. Engines call it at quiescence — after every EOT has
+// been delivered and the dataflow has emptied — and iterate until it returns
+// nothing, since replayed results may probe (and be recorded by) other
+// spilled SteMs. It returns nil for SteMs without real spill.
+func (s *SteM) DrainSpill() []flow.Emission {
+	if !s.spillOn {
+		return nil
+	}
+	var out []flow.Emission
+	for _, sh := range s.all {
+		sh.mu.Lock()
+		if sh.spill != nil {
+			out = append(out, sh.spill.drainLocked()...)
+		}
+		sh.mu.Unlock()
+	}
+	return out
+}
+
+// SpilledRowsOnDisk returns the number of rows currently in spill segments,
+// for tests and reports.
+func (s *SteM) SpilledRowsOnDisk() int {
+	n := 0
+	for _, sh := range s.all {
+		sh.mu.Lock()
+		if sh.spill != nil {
+			for p := range sh.spill.parts {
+				n += sh.spill.parts[p].rows
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// ---------------------------------------------------------------------------
+// spillSegment: one append-only partition file, created through the
+// governor's os.Root-confined spill directory.
+
+type spillSegment struct {
+	name string
+	f    *os.File
+	buf  []byte
+	size int64
+}
+
+func newSpillSegment(g *Governor, name string) (*spillSegment, error) {
+	f, err := g.createSegment(name)
+	if err != nil {
+		return nil, err
+	}
+	return &spillSegment{name: name, f: f}, nil
+}
+
+// append encodes and writes one entry. A failed or short write is rolled
+// back to the previous entry boundary so the segment always decodes cleanly
+// — a partial tail would make every later read (including the duplicate
+// check) fail, and an undetected duplicate build produces duplicate results.
+func (sg *spillSegment) append(row tuple.Row, ts tuple.Timestamp) error {
+	sg.buf = appendEntry(sg.buf[:0], row, ts)
+	n, err := sg.f.Write(sg.buf)
+	if err == nil && n != len(sg.buf) {
+		err = io.ErrShortWrite
+	}
+	if err != nil {
+		if n > 0 {
+			if _, serr := sg.f.Seek(sg.size, io.SeekStart); serr == nil {
+				if terr := sg.f.Truncate(sg.size); terr != nil {
+					err = fmt.Errorf("%w (rollback truncate failed: %v)", err, terr)
+				}
+			} else {
+				err = fmt.Errorf("%w (rollback seek failed: %v)", err, serr)
+			}
+		}
+		return err
+	}
+	sg.size += int64(n)
+	return nil
+}
+
+// readAll decodes the whole segment without disturbing the append offset.
+func (sg *spillSegment) readAll() ([]Entry, error) {
+	data := make([]byte, sg.size)
+	if _, err := io.ReadFull(io.NewSectionReader(sg.f, 0, sg.size), data); err != nil {
+		return nil, fmt.Errorf("stem: reading spill segment %s: %w", sg.name, err)
+	}
+	return decodeEntries(data)
+}
+
+// remove deletes the segment file; the governor owns (and closes) the
+// descriptor.
+func (sg *spillSegment) remove(g *Governor) {
+	g.removeSegment(sg.name)
+}

@@ -109,13 +109,16 @@ type Config struct {
 
 // Stats are cumulative SteM counters, exposed for experiments and tests.
 type Stats struct {
-	Builds       uint64 // rows stored
-	DupBuilds    uint64 // builds consumed as set-semantics duplicates
-	Probes       uint64 // probe tuples processed
-	Matches      uint64 // concatenated results returned
-	ProbeBounces uint64 // probes bounced back
-	Evictions    uint64 // rows evicted by the window bound
-	EOTs         uint64 // EOT tuples built in
+	Builds        uint64 // rows stored (resident or spilled)
+	DupBuilds     uint64 // builds consumed as set-semantics duplicates
+	Probes        uint64 // probe tuples processed
+	Matches       uint64 // concatenated results returned live
+	ProbeBounces  uint64 // probes bounced back
+	Evictions     uint64 // rows evicted by the window bound
+	EOTs          uint64 // EOT tuples built in
+	SpilledBuilds uint64 // builds written to disk segments (real spill)
+	Recalls       uint64 // spilled rows un-spilled back into the dictionary
+	ReplayMatches uint64 // results regenerated by the spill replay pass
 }
 
 // add accumulates o into s, for cross-shard aggregation.
@@ -127,6 +130,9 @@ func (s *Stats) add(o Stats) {
 	s.ProbeBounces += o.ProbeBounces
 	s.Evictions += o.Evictions
 	s.EOTs += o.EOTs
+	s.SpilledBuilds += o.SpilledBuilds
+	s.Recalls += o.Recalls
+	s.ReplayMatches += o.ReplayMatches
 }
 
 // probeScratch is the reusable per-probe state of one synchronization
@@ -150,6 +156,9 @@ type shard struct {
 	pending []*tuple.Tuple
 	stats   Stats
 	scr     probeScratch
+	// spill is the disk-backed half of the shard under a real-spill
+	// governor; nil otherwise (see spill.go).
+	spill *shardSpill
 	// idx is this shard's position, used to salt probe-cache keys so
 	// sweep runs never serve one shard's candidate list for another's.
 	idx int
@@ -172,11 +181,15 @@ type SteM struct {
 	// the partition column (joinCols[0]) and shardMask the hash mask used to
 	// pick a shard. pcolSources are the (table, column) pairs an equi-join
 	// predicate binds to pcol, precomputed so the per-tuple ShardOf never
-	// scans the predicate list. All immutable after New.
+	// scans the predicate list. spillCol is the spill partition column
+	// (joinCols[0] when real spill is on, -1 otherwise) and spillOn marks a
+	// SteM with disk-backed state (see spill.go). All immutable after New.
 	joinCols    []int
 	pcol        int
 	shardMask   uint64
 	pcolSources []colRef
+	spillCol    int
+	spillOn     bool
 
 	shards []shard
 	all    []*shard // &shards[i] in order, for sweep lock acquisition
@@ -222,9 +235,10 @@ type eotIdx struct {
 // New creates a SteM from a config.
 func New(cfg Config) *SteM {
 	s := &SteM{
-		cfg:  cfg,
-		name: fmt.Sprintf("SteM(%s)", cfg.Q.Tables[cfg.Table].Name),
-		pcol: -1,
+		cfg:      cfg,
+		name:     fmt.Sprintf("SteM(%s)", cfg.Q.Tables[cfg.Table].Name),
+		pcol:     -1,
+		spillCol: -1,
 	}
 	s.joinCols = JoinCols(cfg.Q, cfg.Table)
 
@@ -234,16 +248,26 @@ func New(cfg Config) *SteM {
 			nsh <<= 1
 		}
 	}
-	if nsh > 1 {
-		s.pcol = s.joinCols[0]
+	// Real spill applies to the default hash dictionary only: a custom Dict
+	// may have semantics the segment codec cannot reproduce, and a windowed
+	// SteM's eviction order contradicts spill-at-build.
+	s.spillOn = cfg.Gov.SpillActive() && cfg.Dict == nil && cfg.Window == 0
+	if nsh > 1 || (s.spillOn && len(s.joinCols) > 0) {
+		pc := s.joinCols[0]
+		if nsh > 1 {
+			s.pcol = pc
+		}
+		if s.spillOn {
+			s.spillCol = pc
+		}
 		for _, p := range cfg.Q.Preds {
 			if !p.IsEquiJoin() {
 				continue
 			}
-			if p.Left.Table == cfg.Table && p.Left.Col == s.pcol {
+			if p.Left.Table == cfg.Table && p.Left.Col == pc {
 				s.pcolSources = append(s.pcolSources, colRef{p.Right.Table, p.Right.Col})
 			}
-			if p.Right.Table == cfg.Table && p.Right.Col == s.pcol {
+			if p.Right.Table == cfg.Table && p.Right.Col == pc {
 				s.pcolSources = append(s.pcolSources, colRef{p.Left.Table, p.Left.Col})
 			}
 		}
@@ -261,6 +285,9 @@ func New(cfg Config) *SteM {
 		sh.scr.predCache = make(map[tuple.TableSet][]pred.P)
 		sh.idx = i
 		sh.self[0] = sh
+		if s.spillOn {
+			sh.spill = newShardSpill(s, sh, i)
+		}
 		s.all[i] = sh
 	}
 	s.gscr.predCache = make(map[tuple.TableSet][]pred.P)
@@ -595,14 +622,36 @@ func (pc *probeCache) candidates(d Dict, lk Lookup, salt uint64) []Entry {
 
 // build stores a singleton into sh (whose mutex is held) and bounces it back
 // (SteM BounceBack: "a SteM must bounce back a build tuple unless it is a
-// duplicate of another tuple already in the SteM").
+// duplicate of another tuple already in the SteM"). Under a real-spill
+// governor the row is placed exactly once — resident if the byte allocation
+// has room, otherwise appended to its partition's disk segment — and never
+// migrates to disk later, so live matching covers exactly the resident rows
+// and replay covers exactly the spilled ones.
 func (s *SteM) build(sh *shard, t *tuple.Tuple) []flow.Emission {
 	row := t.Comp[s.cfg.Table]
-	if sh.dict.Contains(row) {
+	if sh.dict.Contains(row) || (sh.spill != nil && sh.spill.contains(row)) {
 		sh.stats.DupBuilds++
 		return nil // duplicate from a competitive AM: consumed (Section 3.2)
 	}
 	ts := s.cfg.TS.Next()
+	if sh.spill != nil {
+		sh.spill.noteInsert(ts)
+		if !s.cfg.Gov.admitBuild(s.govID, RowFootprint(row)) {
+			if sh.spill.append(row, ts) {
+				sh.stats.SpilledBuilds++
+			}
+			t.CompTS[s.cfg.Table] = ts
+			t.Built = t.Built.With(s.cfg.Table)
+			sh.stats.Builds++
+			return s.bounceBuild(sh, t)
+		}
+		sh.dict.Insert(row, ts)
+		s.liveRows.Add(1)
+		t.CompTS[s.cfg.Table] = ts
+		t.Built = t.Built.With(s.cfg.Table)
+		sh.stats.Builds++
+		return s.bounceBuild(sh, t)
+	}
 	sh.dict.Insert(row, ts)
 	t.CompTS[s.cfg.Table] = ts
 	t.Built = t.Built.With(s.cfg.Table)
@@ -626,6 +675,11 @@ func (s *SteM) build(sh *shard, t *tuple.Tuple) []flow.Emission {
 			}
 		}
 	}
+	return s.bounceBuild(sh, t)
+}
+
+// bounceBuild emits (or batches) the build bounce-back of t. sh.mu is held.
+func (s *SteM) bounceBuild(sh *shard, t *tuple.Tuple) []flow.Emission {
 	if s.cfg.BuildBounceBatch > 0 {
 		sh.pending = append(sh.pending, t)
 		if len(sh.pending) >= s.cfg.BuildBounceBatch {
@@ -754,6 +808,26 @@ func (s *SteM) eotIdxFor(cols []int) *eotIdx {
 // stats belong to the same synchronization domain as held.
 func (s *SteM) probeLocked(t *tuple.Tuple, pc *probeCache, scr *probeScratch, stats *Stats, held []*shard) []flow.Emission {
 	stats.Probes++
+
+	// Real spill, phase 1 — before the live lookup: charge the probe to the
+	// partitions' frequency estimates and let the governor recall a hot
+	// partition whose allocation has room. Recalled rows enter the resident
+	// dictionary right now, so this probe matches them live (and the
+	// candidate cache must forget pre-recall lists).
+	var replays []flow.Emission
+	if s.spillOn && t.EOT == nil {
+		for _, sh := range held {
+			ems, recalled := sh.spill.beforeProbe(t)
+			replays = append(replays, ems...)
+			if recalled && pc != nil {
+				// The recall inserted rows into the resident dictionary —
+				// even a recall with no replay emissions (no outstanding
+				// recordings) invalidates cached candidate lists.
+				pc.invalidate()
+			}
+		}
+	}
+
 	preds, ok := scr.predCache[t.Span]
 	if !ok {
 		preds = s.cfg.Q.JoinPredsConnecting(t.Span, s.cfg.Table)
@@ -785,22 +859,46 @@ func (s *SteM) probeLocked(t *tuple.Tuple, pc *probeCache, scr *probeScratch, st
 		}
 	}
 
+	// Real spill, phase 2 — after the live lookup: record the probe against
+	// the partitions that hold data, with the exact TimeStamp window of
+	// spilled matches it is owed; the replay pass (or a later recall)
+	// satisfies the recording.
+	if s.spillOn && t.EOT == nil {
+		for _, sh := range held {
+			sh.spill.record(t, probeTS, lastMatch)
+		}
+	}
+
 	t.LastProbeMatches = len(out)
 	if s.shouldBounce(t, scr) {
 		t.PriorProber = true
 		t.ProbeTable = s.cfg.Table
 		// The highest timestamp this probe can have observed: matches for a
 		// partition-bound probe all live in its home shard, so a sweep over
-		// held covers every row the re-probe may legally skip.
+		// held covers every row the re-probe may legally skip. With real
+		// spill the shard's insert high-water mark is used instead of the
+		// resident maximum: rows on disk were not matched live, but the
+		// recording above owns exactly that window, so a re-probe must not
+		// claim it again — this is what keeps successive recordings of one
+		// prober disjoint.
 		var maxTS tuple.Timestamp
 		for _, sh := range held {
-			if m := sh.dict.MaxTS(); m > maxTS {
+			m := sh.dict.MaxTS()
+			if sh.spill != nil && sh.spill.highWater > m {
+				m = sh.spill.highWater
+			}
+			if m > maxTS {
 				maxTS = m
 			}
 		}
 		t.LastMatchTS = maxTS
 		stats.ProbeBounces++
 		out = append(out, flow.Emit(t))
+	}
+	if len(replays) > 0 {
+		// Recall replays are prepended so LastProbeMatches above counted
+		// only this probe's live matches.
+		out = append(replays, out...)
 	}
 	return out
 }

@@ -28,6 +28,7 @@ package stems
 import (
 	"context"
 	"fmt"
+	"os"
 	"strconv"
 	"strings"
 	"time"
@@ -134,12 +135,32 @@ type Options struct {
 	// queries (0 or absent = unbounded).
 	Window map[string]int
 	// MemoryBudget, when >0, places all SteMs under a shared memory
-	// governor: at most this many rows stay resident, allocated in
-	// proportion to observed probe frequency; spilled rows add
+	// governor in its modeled mode: at most this many rows stay resident,
+	// allocated in proportion to observed probe frequency; spilled rows add
 	// SpillPenalty (default 20ms) to probes proportionally (Section 6).
+	// Rows never actually leave memory — this is the simulator's
+	// deterministic cost model of spilling. For real disk spill use
+	// MemoryBudgetBytes instead; the two are mutually exclusive.
 	MemoryBudget int
 	// SpillPenalty is the full-spill probe penalty under MemoryBudget.
 	SpillPenalty time.Duration
+	// MemoryBudgetBytes, when >0, turns on real out-of-core SteMs: at most
+	// this many bytes of row footprint stay resident across all SteMs
+	// (allocated in proportion to observed probe frequency, with hot
+	// partitions recalled from disk when their allocation regains room);
+	// the rest is written to per-partition spill segments under SpillDir
+	// and the results they owe are regenerated by a Grace-join-style replay
+	// pass after the sources are exhausted. Results are set-identical to an
+	// unbounded run at any budget, on either engine. Spill files live in a
+	// private per-run directory and are removed when Run returns, including
+	// on cancellation. Windowed tables (see Window) and custom dictionaries
+	// govern their own memory and are exempt from the budget: their rows
+	// stay resident and unaccounted.
+	MemoryBudgetBytes int64
+	// SpillDir is the directory spill segments are created under when
+	// MemoryBudgetBytes is set; empty defaults to os.TempDir(). Each run
+	// confines its segments to a fresh subdirectory via an os.Root.
+	SpillDir string
 	// Deadline stops the simulation engine at the given virtual time
 	// (for continuous queries); zero runs to completion.
 	Deadline time.Duration
@@ -209,6 +230,11 @@ type RunStats struct {
 	IndexProbes uint64
 	// SteMBuilds counts rows materialized across all SteMs.
 	SteMBuilds uint64
+	// SpilledBuilds counts rows written to disk spill segments
+	// (MemoryBudgetBytes runs only).
+	SpilledBuilds uint64
+	// ReplayMatches counts results regenerated by the spill replay pass.
+	ReplayMatches uint64
 	// Duration is the virtual completion time.
 	Duration time.Duration
 }
@@ -488,7 +514,24 @@ func (q *Query) Run(opts Options) (*Result, error) {
 		ropts.SkipBuild = true
 		ropts.SkipBuildTable = ti
 	}
-	if opts.MemoryBudget > 0 {
+	var spillGov *stem.Governor
+	switch {
+	case opts.MemoryBudgetBytes > 0:
+		if opts.MemoryBudget > 0 {
+			return nil, fmt.Errorf("stems: MemoryBudget (modeled) and MemoryBudgetBytes (real spill) are mutually exclusive")
+		}
+		dir := opts.SpillDir
+		if dir == "" {
+			dir = os.TempDir()
+		}
+		g, err := stem.NewSpillGovernor(opts.MemoryBudgetBytes, stem.AllocByProbes, dir)
+		if err != nil {
+			return nil, err
+		}
+		spillGov = g
+		defer spillGov.Close()
+		ropts.Governor = spillGov
+	case opts.MemoryBudget > 0:
 		pen := opts.SpillPenalty
 		if pen == 0 {
 			pen = 20 * time.Millisecond
@@ -560,6 +603,11 @@ func (q *Query) Run(opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if spillGov != nil {
+		if serr := spillGov.Err(); serr != nil {
+			return nil, fmt.Errorf("stems: spill I/O failed (results fell back to resident storage): %w", serr)
+		}
+	}
 	if n := r.Stuck(); n > 0 {
 		return nil, fmt.Errorf("stems: internal error — %d tuples had no legal route", n)
 	}
@@ -576,7 +624,10 @@ func (q *Query) Run(opts Options) (*Result, error) {
 		res.Stats.IndexProbes += a.Stats().Probes
 	}
 	for _, s := range r.SteMs() {
-		res.Stats.SteMBuilds += s.Stats().Builds
+		st := s.Stats()
+		res.Stats.SteMBuilds += st.Builds
+		res.Stats.SpilledBuilds += st.SpilledBuilds
+		res.Stats.ReplayMatches += st.ReplayMatches
 	}
 	if collector != nil {
 		res.Explain = collector.Report()

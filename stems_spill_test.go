@@ -1,0 +1,196 @@
+package stems
+
+// Out-of-core equivalence and hygiene tests: real disk spill behind the
+// memory governor must never change what a query returns — only where its
+// build state lives — and must never leak a spill file, including out of
+// canceled runs.
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"testing"
+	"time"
+)
+
+// spillQuery builds a 3-way join R ⋈ S ⋈ T whose SteM build state comfortably
+// exceeds small byte budgets: R.a = S.x, S.y = T.key.
+func spillQuery(n int) *Query {
+	d := n / 4
+	if d == 0 {
+		d = 1
+	}
+	e := d / 4
+	if e == 0 {
+		e = 1
+	}
+	r := make([][]int64, n)
+	for i := range r {
+		r[i] = []int64{int64(i), int64(i % d)}
+	}
+	s := make([][]int64, d)
+	for j := range s {
+		s[j] = []int64{int64(j), int64(j % e)}
+	}
+	t := make([][]int64, e)
+	for k := range t {
+		t[k] = []int64{int64(k), int64(k * 10)}
+	}
+	return NewQuery().
+		Table("R", Ints("key", "a"), r).
+		Table("S", Ints("x", "y"), s).
+		Table("T", Ints("key", "c"), t).
+		Scan("R", time.Microsecond).
+		Scan("S", time.Microsecond).
+		Scan("T", time.Microsecond).
+		Where("R.a", "=", "S.x").
+		Where("S.y", "=", "T.key")
+}
+
+// resultMultiset canonicalizes a result set for comparison.
+func resultMultiset(res *Result) []string {
+	out := make([]string, 0, len(res.Rows))
+	for _, r := range res.Rows {
+		out = append(out, r.String())
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestSpillResultsAgree is the spill/resident equivalence property: the same
+// query at budgets {unbounded, tight, pathological-smallest} × shards {1, 4}
+// on both engines returns multiset-identical results. The tight budget holds
+// roughly a quarter of the build state (so the state exceeds it ≥4×); the
+// pathological budget of one byte spills every single row.
+func TestSpillResultsAgree(t *testing.T) {
+	const rows = 400
+	baseline, err := spillQuery(rows).Run(Options{})
+	if err != nil {
+		t.Fatalf("unbounded run: %v", err)
+	}
+	want := resultMultiset(baseline)
+	if len(want) != rows {
+		t.Fatalf("unbounded run returned %d results, want %d", len(want), rows)
+	}
+
+	for _, engine := range []Engine{Sim, Concurrent} {
+		for _, shards := range []int{1, 4} {
+			for _, budget := range []int64{0, 12 << 10, 1} {
+				name := fmt.Sprintf("engine=%v/shards=%d/budget=%d", engine, shards, budget)
+				t.Run(name, func(t *testing.T) {
+					res, err := spillQuery(rows).Run(Options{
+						Engine:            engine,
+						Shards:            shards,
+						MemoryBudgetBytes: budget,
+						SpillDir:          t.TempDir(),
+					})
+					if err != nil {
+						t.Fatalf("run: %v", err)
+					}
+					got := resultMultiset(res)
+					if len(got) != len(want) {
+						t.Fatalf("got %d results, want %d", len(got), len(want))
+					}
+					for i := range got {
+						if got[i] != want[i] {
+							t.Fatalf("result %d: got %s, want %s", i, got[i], want[i])
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestSpillActuallySpills guards the test above against vacuity: under the
+// pathological budget the run must really have written rows to disk.
+func TestSpillActuallySpills(t *testing.T) {
+	dir := t.TempDir()
+	res, err := spillQuery(400).Run(Options{MemoryBudgetBytes: 1, SpillDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 400 {
+		t.Fatalf("got %d rows, want 400", len(res.Rows))
+	}
+	if res.Stats.SpilledBuilds == 0 {
+		t.Fatal("pathological budget spilled nothing — the equivalence test is vacuous")
+	}
+}
+
+// countFiles walks dir counting regular files.
+func countFiles(t *testing.T, dir string) int {
+	t.Helper()
+	n := 0
+	err := filepath.WalkDir(dir, func(_ string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			n++
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("walking %s: %v", dir, err)
+	}
+	return n
+}
+
+// openFDs counts the process's open file descriptors (linux).
+func openFDs(t *testing.T) int {
+	t.Helper()
+	ents, err := os.ReadDir("/proc/self/fd")
+	if err != nil {
+		t.Skipf("cannot count fds: %v", err)
+	}
+	return len(ents)
+}
+
+// TestSpillFileHygiene asserts spill segments (and their descriptors) are
+// gone after a completed run and after a mid-join cancellation, and that a
+// canceled concurrent run leaves no goroutines behind.
+func TestSpillFileHygiene(t *testing.T) {
+	dir := t.TempDir()
+	fdsBefore := openFDs(t)
+
+	// Completed runs, both engines.
+	for _, engine := range []Engine{Sim, Concurrent} {
+		if _, err := spillQuery(200).Run(Options{
+			Engine: engine, MemoryBudgetBytes: 1, SpillDir: dir,
+		}); err != nil {
+			t.Fatalf("engine %v: %v", engine, err)
+		}
+		if n := countFiles(t, dir); n != 0 {
+			t.Fatalf("engine %v: %d spill files left after completed run", engine, n)
+		}
+	}
+
+	// Canceled mid-join: the run errors, the files still go.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := spillQuery(200).RunContext(ctx, Options{
+		Engine: Concurrent, MemoryBudgetBytes: 1, SpillDir: dir,
+	}); err == nil {
+		t.Fatal("canceled run returned no error")
+	}
+	if n := countFiles(t, dir); n != 0 {
+		t.Fatalf("%d spill files left after canceled run", n)
+	}
+
+	// Descriptors and goroutines unwind (allow scheduler slack).
+	deadline := time.Now().Add(5 * time.Second)
+	for openFDs(t) > fdsBefore && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := openFDs(t); got > fdsBefore {
+		t.Fatalf("fd leak: %d open before, %d after", fdsBefore, got)
+	}
+	start := runtime.NumGoroutine()
+	for runtime.NumGoroutine() > start && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+}
