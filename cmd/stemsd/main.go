@@ -17,7 +17,9 @@
 // Admission control bounds concurrent queries (-max-inflight) and the wait
 // queue (-queue); per-query deadlines default to -deadline and are capped
 // at -max-deadline. /healthz reports liveness, /metrics exposes
-// Prometheus-style counters. SIGINT/SIGTERM drains: in-flight queries get
+// Prometheus-style counters, and -pprof additionally serves the Go
+// profiling endpoints under /debug/pprof/ (off by default).
+// SIGINT/SIGTERM drains: in-flight queries get
 // -drain to finish, stragglers are canceled (cancellation stops the eddy's
 // routing, it does not abandon goroutines), and the process exits 0.
 package main
@@ -29,6 +31,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -54,6 +57,7 @@ func main() {
 	policyName := flag.String("policy", "benefitcost", "default routing policy: fixed, lottery, benefitcost")
 	seed := flag.Int64("seed", 1, "seed for randomized policies")
 	batch := flag.Int("batch", eddy.DefaultBatchSize, "default eddy batch size for the concurrent engine")
+	rowBatches := flag.Bool("row-batches", false, "disable the concurrent engine's columnar batch fast path (row-tuple batches; results are identical)")
 	shards := flag.Int("shards", 1, "default SteM shard count")
 	compression := flag.Float64("compression", 0.001, "concurrent engine clock compression (1 = real time)")
 	maxInflight := flag.Int("max-inflight", 8, "maximum concurrently executing queries")
@@ -63,6 +67,7 @@ func main() {
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain window for in-flight queries")
 	memBudget := flag.Int64("mem-budget", 0, "per-query resident SteM byte budget; rows beyond it spill to disk and replay (0 disables). Total SteM footprint is bounded by -max-inflight times this")
 	spillDir := flag.String("spill-dir", "", "directory for per-query spill segments (each query gets a private subdirectory, removed when it ends); empty uses the system temp dir")
+	pprofOn := flag.Bool("pprof", false, "expose Go pprof profiling endpoints under /debug/pprof/ (opt-in; profiles reveal query shapes, so leave off on untrusted networks)")
 	flag.Parse()
 
 	cat := server.NewCatalog(*scanInterval, *dataDir)
@@ -79,13 +84,29 @@ func main() {
 		Policy:          *policyName,
 		Seed:            *seed,
 		BatchSize:       *batch,
+		RowBatches:      *rowBatches,
 		Shards:          *shards,
 		TimeCompression: *compression,
 		MemBudgetBytes:  *memBudget,
 		SpillDir:        *spillDir,
 	})
 
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	handler := srv.Handler()
+	if *pprofOn {
+		// Explicit registrations instead of the net/http/pprof side-effect
+		// import: the profiling surface exists only behind the flag, never
+		// on the default mux.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/", handler)
+		handler = mux
+		log.Printf("stemsd: pprof endpoints enabled at /debug/pprof/")
+	}
+	httpSrv := &http.Server{Addr: *addr, Handler: handler}
 	errCh := make(chan error, 1)
 	go func() {
 		log.Printf("stemsd: serving on %s with %d tables %v", *addr, cat.Len(), cat.Tables())

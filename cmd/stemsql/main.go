@@ -53,6 +53,7 @@ func main() {
 	policyName := flag.String("policy", "benefitcost", "routing policy: fixed, lottery, benefitcost")
 	engineName := flag.String("engine", "sim", "execution engine: sim (deterministic) or concurrent")
 	batch := flag.Int("batch", eddy.DefaultBatchSize, "concurrent engine eddy batch size; 1 is tuple-at-a-time")
+	rowBatches := flag.Bool("row-batches", false, "disable the concurrent engine's columnar batch fast path (row-tuple batches; results are identical)")
 	shards := flag.Int("shards", 1, "hash-partitioned shards per SteM (rounded up to a power of two); >1 gives the concurrent engine one worker per shard")
 	scanInterval := flag.Duration("scan-interval", time.Microsecond, "virtual inter-arrival pacing of scans")
 	seed := flag.Int64("seed", 1, "seed for randomized policies")
@@ -68,7 +69,7 @@ func main() {
 		os.Exit(1)
 	}
 	runOne := func(stmt string) bool {
-		if err := run(stmt, cat, *policyName, *engineName, *batch, *shards, *seed, *timing, *explain, *memBudget, *spillDir); err != nil {
+		if err := run(stmt, cat, *policyName, *engineName, *batch, *shards, *rowBatches, *seed, *timing, *explain, *memBudget, *spillDir); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return false
 		}
@@ -150,7 +151,7 @@ func splitStatements(s string) (complete []string, rest string) {
 	return complete, strings.TrimLeft(s[start:], " \t\n")
 }
 
-func run(stmtSrc string, cat *server.Catalog, policyName, engineName string, batch, shards int, seed int64, timing, explain bool, memBudget int64, spillDir string) error {
+func run(stmtSrc string, cat *server.Catalog, policyName, engineName string, batch, shards int, rowBatches bool, seed int64, timing, explain bool, memBudget int64, spillDir string) error {
 	parsed, err := sql.ParseStatement(stmtSrc)
 	if err != nil {
 		return err
@@ -208,6 +209,7 @@ func run(stmtSrc string, cat *server.Catalog, policyName, engineName string, bat
 		}
 		eng := eddy.NewConcurrent(r, nil)
 		eng.BatchSize = batch
+		eng.Columnar = !rowBatches
 		outs, err = eng.Run()
 	default:
 		return fmt.Errorf("stemsql: unknown engine %q (want sim or concurrent)", engineName)

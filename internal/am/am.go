@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/clock"
 	"repro/internal/flow"
+	"repro/internal/pred"
 	"repro/internal/query"
 	"repro/internal/source"
 	"repro/internal/tuple"
@@ -135,6 +136,119 @@ func (a *AM) Process(t *tuple.Tuple, now clock.Time) ([]flow.Emission, clock.Dur
 // serialize the CPU side of lookups that index AMs with Parallel > 1 rely
 // on overlapping, so the lock stays fine-grained inside probe/scan and a
 // native batch path would have nothing left to amortize.
+
+// colScanChunk bounds the rows per columnar scan batch, so one giant source
+// does not turn into one giant batch (downstream modules hold locks for a
+// whole batch).
+const colScanChunk = 1024
+
+// ProcessColBatch implements flow.ColModule. Seeds for an unpaced scan
+// produce columnar batches directly from the source rows — the entry point
+// of the columnar hot path. Everything else (paced scans, whose per-row
+// delivery times differ; index probes, whose dedup and latency are per-key)
+// goes through the per-tuple path, materializing columnar probers first.
+func (a *AM) ProcessColBatch(b *flow.Batch, now clock.Time) ([]flow.Emission, []flow.ColEmission, clock.Duration) {
+	var rows []flow.Emission
+	var cols []flow.ColEmission
+	var total clock.Duration
+	if b.Col != nil {
+		for _, t := range b.Col.Materialize() {
+			ems, cost := a.Process(t, now)
+			rows = append(rows, ems...)
+			total += cost
+			now = now.Add(cost)
+		}
+		return rows, nil, total
+	}
+	for _, t := range b.Tuples {
+		if a.colScannable(t) {
+			cs, ems := a.scanCols()
+			cols = append(cols, cs...)
+			rows = append(rows, ems...)
+			total += a.cfg.DispatchCost
+			now = now.Add(a.cfg.DispatchCost)
+			continue
+		}
+		ems, cost := a.Process(t, now)
+		rows = append(rows, ems...)
+		total += cost
+		now = now.Add(cost)
+	}
+	return rows, cols, total
+}
+
+// colScannable reports whether t is a seed for a scan whose delivery is
+// unpaced (no start delay, inter-arrival, or stalls). Paced scans keep the
+// row representation: their semantics are per-row delivery times, which a
+// batch cannot carry.
+func (a *AM) colScannable(t *tuple.Tuple) bool {
+	if !t.Seed || a.cfg.Disabled || a.decl.Kind != query.Scan {
+		return false
+	}
+	sp := a.decl.ScanSpec
+	return sp.StartDelay == 0 && sp.InterArrival == 0 && len(sp.Stalls) == 0
+}
+
+// scanCols streams the source out as columnar batches followed by the scan's
+// row-representation EOT (EOT tuples always travel as rows; the engine
+// delivers the columnar batches first, preserving scan order). Pushed-down
+// selections are applied with the vectorized kernels against the selection
+// vector, exactly like passesSelections/markSelections on the row path.
+func (a *AM) scanCols() ([]flow.ColEmission, []flow.Emission) {
+	q := a.cfg.Q
+	n := len(q.Tables)
+	tbl := a.decl.Table
+	src := a.decl.Data.Rows
+	arity := a.decl.Data.Schema.Arity()
+	sels := q.SelectionsOn(tbl)
+	var done tuple.PredSet
+	if a.cfg.ApplySelections {
+		for _, p := range sels {
+			done = done.With(p.ID)
+		}
+	}
+	var cols []flow.ColEmission
+	rowsOut := uint64(0)
+	for lo := 0; lo < len(src); lo += colScanChunk {
+		hi := lo + colScanChunk
+		if hi > len(src) {
+			hi = len(src)
+		}
+		cb := flow.GetColBatch(n)
+		cb.Span = tuple.Single(tbl)
+		cb.Done = done
+		tab := cb.EnsureCols(tbl, arity)
+		for _, r := range src[lo:hi] {
+			for c := 0; c < arity; c++ {
+				tab.Cols[c].AppendV(r[c])
+			}
+		}
+		cb.SetRowCount(hi - lo)
+		live := cb.Rows()
+		if a.cfg.ApplySelections {
+			for _, p := range sels {
+				live = pred.FilterColConst(cb, p)
+				if live == 0 {
+					break
+				}
+			}
+		}
+		if live == 0 {
+			flow.PutColBatch(cb)
+			continue
+		}
+		rowsOut += uint64(live)
+		cols = append(cols, flow.ColEmission{B: cb})
+	}
+	eot := tuple.NewEOT(n, tbl, a.eotRow(nil, nil), nil)
+	ems := []flow.Emission{flow.Emit(eot)}
+	a.mu.Lock()
+	a.stats.SeedsServed++
+	a.stats.RowsOut += rowsOut
+	a.stats.EOTsOut++
+	a.mu.Unlock()
+	return cols, ems
+}
 
 // scan streams out the whole source, each row delayed per the ScanSpec, and
 // ends with a full EOT ("in the case of a scan AM, the predicate is simply

@@ -143,6 +143,13 @@ type pendKey struct {
 	shard int
 }
 
+// ColRouter is the optional routing capability the columnar dataflow needs:
+// deciding the fate of a whole column-vector batch in one call. The Router
+// implements it; a Routing that does not keeps the engine on the row path.
+type ColRouter interface {
+	RouteCol(cb *flow.ColBatch, env policy.Env) Decision
+}
+
 // Concurrent drives a Routing with goroutines and channels on a real clock.
 type Concurrent struct {
 	r   Routing
@@ -152,6 +159,13 @@ type Concurrent struct {
 	// channel send to a module; 0 defaults to DefaultBatchSize at Run, and
 	// 1 reproduces per-tuple dataflow exactly. Set before Run.
 	BatchSize int
+	// Columnar enables the typed column-vector dataflow: scan AMs emit
+	// ColBatches, selection and SteM modules service them with vectorized
+	// kernels, and the eddy routes each batch with one decision. It is on by
+	// default and takes effect when BatchSize > 1 and the routing supports it
+	// (ColRouter); BatchSize 1 always runs the exact row-at-a-time dataflow.
+	// Set before Run.
+	Columnar bool
 	// OnOutput is called (on the eddy goroutine) for each result.
 	OnOutput func(t *tuple.Tuple, at clock.Time)
 	// WallTimeout aborts the run after this much wall time; 0 disables. The
@@ -177,6 +191,14 @@ type Concurrent struct {
 	inflight atomic.Int64
 	costEWMA []atomic.Int64 // per-module EWMA service cost per tuple, ns
 
+	// colOn records that the columnar dataflow is active this run; colRouter,
+	// colMod and colShard cache the columnar capabilities of the routing and
+	// of each module (nil entries materialize to rows at enqueue).
+	colOn     bool
+	colRouter ColRouter
+	colMod    []flow.ColModule
+	colShard  []flow.ColSharded
+
 	// pend, staging, and decisions are eddy-goroutine-only: the per-module
 	// coalescing buffers, the reused routing batch incoming tuples drain
 	// into, and the reused RouteBatch scratch. pend is keyed by the
@@ -191,6 +213,13 @@ type Concurrent struct {
 	pend      []map[pendKey]*flow.Batch
 	pendCount []int
 	batchCap  []int
+	// pendCol holds the columnar coalescing buffers, keyed like pend; merging
+	// requires identical routing headers (SameHeader), and merged storage is
+	// the pooled destination batch's — the source returns to the pool.
+	// colParts is the eddy-goroutine-only scratch for partitioning one
+	// columnar batch across a sharded module's inboxes.
+	pendCol  []map[pendKey]*flow.ColBatch
+	colParts []*flow.ColBatch
 	// anyRR round-robins flow.ShardAny tuples across shard inboxes; atomic
 	// because both the eddy goroutine (enqueue) and timer goroutines
 	// (deliverDirect) draw from it.
@@ -213,6 +242,7 @@ func NewConcurrent(r Routing, clk clock.Clock) *Concurrent {
 	return &Concurrent{
 		r:        r,
 		clk:      clk,
+		Columnar: true,
 		events:   make(chan eddyEvent, 1024),
 		done:     make(chan struct{}),
 		costEWMA: make([]atomic.Int64, len(r.Modules())),
@@ -252,13 +282,25 @@ func (c *Concurrent) RunContext(ctx context.Context) ([]Output, error) {
 	c.inboxes = make([][]*inbox, len(mods))
 	c.sharded = make([]flow.Sharded, len(mods))
 	c.pend = make([]map[pendKey]*flow.Batch, len(mods))
+	c.pendCol = make([]map[pendKey]*flow.ColBatch, len(mods))
+	c.colMod = make([]flow.ColModule, len(mods))
+	c.colShard = make([]flow.ColSharded, len(mods))
 	c.pendCount = make([]int, len(mods))
 	c.batchCap = make([]int, len(mods))
 	c.anyRR = make([]atomic.Int64, len(mods))
 	c.staging = flow.NewBatch(c.BatchSize)
+	if cr, ok := c.r.(ColRouter); ok && c.Columnar && c.BatchSize > 1 {
+		c.colRouter = cr
+		c.colOn = true
+		for i, m := range mods {
+			c.colMod[i], _ = m.(flow.ColModule)
+			c.colShard[i], _ = m.(flow.ColSharded)
+		}
+	}
 	var wg sync.WaitGroup
 	for i, m := range mods {
 		c.pend[i] = make(map[pendKey]*flow.Batch)
+		c.pendCol[i] = make(map[pendKey]*flow.ColBatch)
 		if sm, ok := m.(flow.Sharded); ok && sm.Shards() > 1 {
 			// One single-server inbox+worker per shard; per-shard batches
 			// coalesce like any single-server module's.
@@ -375,6 +417,15 @@ func (c *Concurrent) RunContext(ctx context.Context) ([]Output, error) {
 				}
 			} else if ev.deliverT != nil {
 				c.enqueue(ev.deliverMod, ev.deliverT)
+			} else if ev.b.Col != nil {
+				// A columnar batch is already a batch: it routes as one unit
+				// immediately, preserving its order in the event stream
+				// relative to row events (an AM's scan chunks precede its
+				// EOT; a SteM's build bounce precedes anything later).
+				cb := ev.b.Col
+				ev.b.Col = nil
+				putBatch(ev.b)
+				c.routeColBatch(cb)
 			} else {
 				for _, t := range ev.b.Tuples {
 					c.staging.Add(t)
@@ -504,6 +555,57 @@ func (c *Concurrent) routeStaged() {
 	}
 }
 
+// routeColBatch routes one columnar batch (eddy goroutine only): one
+// decision covers every live row, applied without materializing any of them
+// except on the output path, where rows become result tuples.
+func (c *Concurrent) routeColBatch(cb *flow.ColBatch) {
+	n := int64(cb.Rows())
+	defer func() {
+		if r := recover(); r != nil {
+			c.errOnce.Do(func() {
+				c.mu.Lock()
+				c.err = fmt.Errorf("eddy: routing panic: %v", r)
+				c.mu.Unlock()
+			})
+			c.inflight.Add(-n)
+		}
+	}()
+	d := c.colRouter.RouteCol(cb, c)
+	switch {
+	case d.Output:
+		now := c.clk.Now()
+		ts := cb.Materialize()
+		flow.PutColBatch(cb)
+		c.mu.Lock()
+		for _, t := range ts {
+			c.outputs = append(c.outputs, Output{T: t, At: now})
+		}
+		c.mu.Unlock()
+		if c.OnOutput != nil {
+			for _, t := range ts {
+				c.OnOutput(t, now)
+			}
+		}
+		c.inflight.Add(-n)
+	case d.Drop:
+		flow.PutColBatch(cb)
+		c.inflight.Add(-n)
+	case d.Delay > 0:
+		mod, delay := d.Module, d.Delay
+		c.senders.Add(1)
+		go func() {
+			defer c.senders.Done()
+			select {
+			case <-c.clk.After(delay):
+				c.deliverDirectCol(mod, cb)
+			case <-c.done:
+			}
+		}()
+	default:
+		c.enqueueCol(d.Module, cb)
+	}
+}
+
 // shardOf resolves the shard a tuple addresses within a module; unsharded
 // modules always use shard 0.
 func (c *Concurrent) shardOf(mod int, t *tuple.Tuple) int {
@@ -563,6 +665,149 @@ func (c *Concurrent) pushTo(mod, shard int, b *flow.Batch) {
 	c.inboxes[mod][shard].push(b)
 }
 
+// enqueueCol adds a columnar batch to a module's columnar coalescing buffers
+// (eddy goroutine only). Modules without a columnar path get the rows
+// materialized into the ordinary row enqueue; sharded modules get the batch
+// partitioned per shard (sweep batches — ShardAny — stay whole, the binding
+// is span-determined and thus batch-uniform). EOT markers never travel
+// columnar, so there is no ShardAll case.
+func (c *Concurrent) enqueueCol(mod int, cb *flow.ColBatch) {
+	if c.colMod[mod] == nil || (c.sharded[mod] != nil && c.colShard[mod] == nil) {
+		for _, t := range cb.Materialize() {
+			c.enqueue(mod, t)
+		}
+		flow.PutColBatch(cb)
+		return
+	}
+	if sm := c.colShard[mod]; sm != nil && c.sharded[mod] != nil {
+		rows := cb.Rows()
+		first := sm.ShardOfCol(cb, cb.RowAt(0))
+		if first == flow.ShardAny {
+			c.pendColAdd(mod, flow.ShardAny, cb)
+			return
+		}
+		uniform := true
+		for k := 1; k < rows; k++ {
+			if sm.ShardOfCol(cb, cb.RowAt(k)) != first {
+				uniform = false
+				break
+			}
+		}
+		if uniform {
+			c.pendColAdd(mod, first, cb)
+			return
+		}
+		nsh := len(c.inboxes[mod])
+		if cap(c.colParts) < nsh {
+			c.colParts = make([]*flow.ColBatch, nsh)
+		}
+		parts := c.colParts[:nsh]
+		for k := 0; k < rows; k++ {
+			i := cb.RowAt(k)
+			s := sm.ShardOfCol(cb, i)
+			p := parts[s]
+			if p == nil {
+				p = flow.GetColBatch(cb.NTables)
+				p.CopyHeaderFrom(cb)
+				parts[s] = p
+			}
+			p.AppendRowFrom(cb, i)
+		}
+		flow.PutColBatch(cb)
+		for s, p := range parts {
+			if p != nil {
+				parts[s] = nil
+				c.pendColAdd(mod, s, p)
+			}
+		}
+		return
+	}
+	if c.batchCap[mod] <= 1 {
+		c.pushColTo(mod, 0, cb)
+		return
+	}
+	c.pendColAdd(mod, 0, cb)
+}
+
+// pendColAdd coalesces a columnar batch into the module's (span, shard)
+// buffer. Merging is only legal between identical routing headers; a header
+// change (visit counts advanced, lineage flags set) releases the buffered
+// batch and starts a fresh one. Merged rows move into the buffered batch's
+// pooled vector storage and the source batch returns to the pool.
+func (c *Concurrent) pendColAdd(mod, shard int, cb *flow.ColBatch) {
+	key := pendKey{span: cb.Span, shard: shard}
+	p := c.pendCol[mod][key]
+	if p != nil {
+		if p.SameHeader(cb) {
+			p.AppendAllFrom(cb)
+			c.pendCount[mod] += cb.Rows()
+			flow.PutColBatch(cb)
+			if p.Rows() >= c.batchCap[mod] {
+				delete(c.pendCol[mod], key)
+				c.pendCount[mod] -= p.Rows()
+				c.pushColTo(mod, shard, p)
+			}
+			return
+		}
+		delete(c.pendCol[mod], key)
+		c.pendCount[mod] -= p.Rows()
+		c.pushColTo(mod, shard, p)
+	}
+	if cb.Rows() >= c.batchCap[mod] {
+		c.pushColTo(mod, shard, cb)
+		return
+	}
+	c.pendCol[mod][key] = cb
+	c.pendCount[mod] += cb.Rows()
+}
+
+// pushColTo delivers a columnar batch to one shard inbox inside a pooled
+// row-batch shell (the inbox currency stays *flow.Batch).
+func (c *Concurrent) pushColTo(mod, shard int, cb *flow.ColBatch) {
+	shell := getBatch()
+	shell.Col = cb
+	c.pushTo(mod, shard, shell)
+}
+
+// deliverDirectCol delivers a delayed columnar batch straight to the
+// module's inboxes (timer goroutines; the eddy-only coalescing buffers are
+// off limits, and the pools are safe to use from here).
+func (c *Concurrent) deliverDirectCol(mod int, cb *flow.ColBatch) {
+	if c.colMod[mod] == nil || (c.sharded[mod] != nil && c.colShard[mod] == nil) {
+		for _, t := range cb.Materialize() {
+			c.deliverDirect(mod, t)
+		}
+		flow.PutColBatch(cb)
+		return
+	}
+	if sm := c.colShard[mod]; sm != nil && c.sharded[mod] != nil {
+		rows := cb.Rows()
+		first := sm.ShardOfCol(cb, cb.RowAt(0))
+		if first == flow.ShardAny {
+			c.pushColTo(mod, flow.ShardAny, cb)
+			return
+		}
+		parts := make([]*flow.ColBatch, len(c.inboxes[mod]))
+		for k := 0; k < rows; k++ {
+			i := cb.RowAt(k)
+			s := sm.ShardOfCol(cb, i)
+			if parts[s] == nil {
+				parts[s] = flow.GetColBatch(cb.NTables)
+				parts[s].CopyHeaderFrom(cb)
+			}
+			parts[s].AppendRowFrom(cb, i)
+		}
+		flow.PutColBatch(cb)
+		for s, p := range parts {
+			if p != nil {
+				c.pushColTo(mod, s, p)
+			}
+		}
+		return
+	}
+	c.pushColTo(mod, 0, cb)
+}
+
 // deliverDirect delivers a delayed tuple straight to the module's inboxes,
 // bypassing the eddy-goroutine-only coalescing buffers (it runs on timer
 // goroutines). Today only probes are ever delayed; should a broadcast
@@ -587,12 +832,17 @@ func (c *Concurrent) nextAny(mod int) int {
 	return int(c.anyRR[mod].Add(1) % int64(len(c.inboxes[mod])))
 }
 
-// flushModule releases every non-empty pending batch of one module.
+// flushModule releases every non-empty pending batch of one module, columnar
+// buffers first so staged builds keep preceding a broadcast EOT in every
+// shard inbox.
 func (c *Concurrent) flushModule(mod int) {
-	spans := c.pend[mod]
-	if len(spans) == 0 {
-		return
+	if cols := c.pendCol[mod]; len(cols) > 0 {
+		for key, p := range cols {
+			delete(cols, key)
+			c.pushColTo(mod, key.shard, p)
+		}
 	}
+	spans := c.pend[mod]
 	for key, p := range spans {
 		delete(spans, key)
 		c.pushTo(mod, key.shard, p)
@@ -612,11 +862,21 @@ func (c *Concurrent) flushAll() {
 func (c *Concurrent) worker(mod int, wg *sync.WaitGroup) {
 	defer wg.Done()
 	m := flow.Lift(c.r.Modules()[mod])
+	var cm flow.ColModule
+	if c.colOn {
+		cm = c.colMod[mod]
+	}
 	ib := c.inboxes[mod][0]
 	for {
 		b, ok := ib.pop()
 		if !ok {
 			return
+		}
+		if cm != nil {
+			in := b.Len()
+			rows, cols, cost := cm.ProcessColBatch(b, c.clk.Now())
+			c.finishCol(mod, 0, b, in, rows, cols, cost)
+			continue
 		}
 		ems, cost := m.ProcessBatch(b, c.clk.Now())
 		c.finishBatch(mod, 0, b, ems, cost)
@@ -629,11 +889,21 @@ func (c *Concurrent) worker(mod int, wg *sync.WaitGroup) {
 func (c *Concurrent) shardWorker(mod, shard int, wg *sync.WaitGroup) {
 	defer wg.Done()
 	m := c.sharded[mod]
+	var cm flow.ColSharded
+	if c.colOn {
+		cm = c.colShard[mod]
+	}
 	ib := c.inboxes[mod][shard]
 	for {
 		b, ok := ib.pop()
 		if !ok {
 			return
+		}
+		if cm != nil {
+			in := b.Len()
+			rows, cols, cost := cm.ProcessColShard(shard, b, c.clk.Now())
+			c.finishCol(mod, shard, b, in, rows, cols, cost)
+			continue
 		}
 		ems, cost := m.ProcessShard(shard, b, c.clk.Now())
 		c.finishBatch(mod, shard, b, ems, cost)
@@ -706,6 +976,121 @@ func (c *Concurrent) finishBatch(mod, shard int, b *flow.Batch, ems []flow.Emiss
 		if c.inflight.Add(delta) == 0 {
 			// Wake the eddy loop so it observes quiescence; Emitted -1
 			// marks it as a pure wake-up, not real feedback.
+			c.events <- eddyEvent{fb: &policy.Feedback{Module: mod, Emitted: -1}}
+		}
+	}
+}
+
+// finishCol is finishBatch for a columnar-capable module: it accounts and
+// forwards both row and columnar emissions. All counters are row counts (a
+// columnar emission contributes its live rows), columnar emissions enter the
+// event stream before row emissions (an AM's scan chunks must precede its
+// row EOT so the flush-first broadcast discipline can order the inboxes),
+// and the input batch's columnar payload returns to the pool unless the
+// module re-emitted it (a bounce).
+// finishCol applies finishBatch's accounting to a columnar service. inRows
+// is the batch's row count captured BEFORE the module ran: columnar modules
+// filter the selection vector in place (predicate misses, duplicate builds,
+// matched/unmatched splits), so the post-service b.Len() undercounts what
+// entered and would leak the difference in the in-flight counter.
+func (c *Concurrent) finishCol(mod, shard int, b *flow.Batch, inRows int, rowEms []flow.Emission, colEms []flow.ColEmission, cost clock.Duration) {
+	cb := b.Col
+	c.observeCost(mod, cost, inRows)
+	if cost > 0 {
+		select {
+		case <-c.clk.After(cost):
+		case <-c.done:
+		}
+	}
+
+	outRows := len(rowEms)
+	newRows := 0
+	if len(rowEms) > 0 {
+		newRows = countNew(b, rowEms)
+	}
+	bounced := false
+	for _, em := range colEms {
+		outRows += em.B.Rows()
+		if em.B == cb {
+			bounced = true
+		} else {
+			newRows += em.B.Rows()
+		}
+	}
+	delta := int64(outRows) - int64(inRows)
+	if delta > 0 {
+		c.inflight.Add(delta)
+	}
+	var sig uint64
+	if cb != nil {
+		sig = uint64(cb.Span)
+	} else {
+		sig = uint64(b.Tuples[0].Span)
+	}
+	fb := policy.Feedback{
+		Module: mod, Shard: shard, Sig: sig,
+		Outputs: newRows, Emitted: outRows, Cost: cost, Now: c.clk.Now(),
+		Visits: inRows,
+	}
+	if cb != nil && !bounced {
+		flow.PutColBatch(cb)
+	}
+	b.Col = nil
+	putBatch(b)
+
+	for _, em := range colEms {
+		if em.Delay > 0 {
+			em := em
+			c.senders.Add(1)
+			go func() {
+				defer c.senders.Done()
+				select {
+				case <-c.clk.After(em.Delay):
+					shell := getBatch()
+					shell.Col = em.B
+					select {
+					case c.events <- eddyEvent{b: shell}:
+					case <-c.done:
+					}
+				case <-c.done:
+				}
+			}()
+			continue
+		}
+		shell := getBatch()
+		shell.Col = em.B
+		c.events <- eddyEvent{b: shell}
+	}
+	var ready *flow.Batch
+	for _, em := range rowEms {
+		switch {
+		case em.Delay > 0:
+			em := em
+			c.senders.Add(1)
+			go func() {
+				defer c.senders.Done()
+				select {
+				case <-c.clk.After(em.Delay):
+					select {
+					case c.events <- eddyEvent{b: flow.BatchOf(em.T)}:
+					case <-c.done:
+					}
+				case <-c.done:
+				}
+			}()
+		default:
+			if ready == nil {
+				ready = getBatch()
+			}
+			ready.Add(em.T)
+		}
+	}
+	if ready != nil {
+		c.events <- eddyEvent{b: ready}
+	}
+	c.events <- eddyEvent{fb: &fb}
+	if delta < 0 {
+		if c.inflight.Add(delta) == 0 {
 			c.events <- eddyEvent{fb: &policy.Feedback{Module: mod, Emitted: -1}}
 		}
 	}

@@ -391,6 +391,52 @@ func (r *Router) RouteBatch(ts []*tuple.Tuple, env policy.Env, dst []Decision) [
 	return dst
 }
 
+// RouteCol decides the fate of a columnar batch as one unit. The batch's
+// routing header is uniform by construction — every row has routed together
+// its whole life, and the columnar module paths preserve that (SteMs split
+// bounced batches rather than let HasMatches diverge) — so it is one
+// RouteBatch partition: one constraint computation, one policy choice, one
+// shared visit increment, with no representative materialization beyond a
+// stack tuple carrying the header fields the constraints and policies read.
+func (r *Router) RouteCol(cb *flow.ColBatch, env policy.Env) Decision {
+	n := cb.Rows()
+	r.routed.Add(uint64(n))
+	rep := tuple.Tuple{
+		Span:        cb.Span,
+		Done:        cb.Done,
+		Built:       cb.Built,
+		PriorProber: cb.PriorProber,
+		ProbeTable:  cb.ProbeTable,
+		AMProbed:    cb.AMProbed,
+		LastMatchTS: cb.LastMatchTS,
+	}
+	if len(cb.Visits) > 0 {
+		// Pooled batches keep an empty non-nil Visits slice; visit() treats
+		// nil as the lazily-sized zero vector.
+		rep.Visits = cb.Visits
+	}
+	if cb.HasMatches {
+		rep.LastProbeMatches = 1
+	}
+	t := &rep
+	var d Decision
+	if fd, ok := r.routeFast(t); ok {
+		d = fd
+	} else if cands := r.candidates(t); len(cands) == 0 {
+		d = r.noCandidates(t)
+	} else {
+		choice := r.choose(t, n, cands, env)
+		if choice < 0 || choice >= len(cands) {
+			choice = 0
+		}
+		d = r.applyChoice(t, cands[choice])
+	}
+	if t.Visits != nil {
+		cb.Visits = t.Visits // visit() may have lazily allocated the vector
+	}
+	return d
+}
+
 // choose asks the policy for a decision covering n routing-equivalent
 // tuples, through the batch entry point when the policy offers one.
 func (r *Router) choose(t *tuple.Tuple, n int, cands []policy.Candidate, env policy.Env) int {

@@ -69,6 +69,12 @@ type Module interface {
 // lifetime.
 type Batch struct {
 	Tuples []*tuple.Tuple
+
+	// Col, when non-nil, is the batch's columnar payload: the batch carries
+	// column vectors instead of row tuples, and Tuples is empty. Only
+	// columnar-aware engines and modules set or observe it; everything else
+	// sees row batches exclusively.
+	Col *ColBatch
 }
 
 // NewBatch returns an empty batch with room for capacity tuples.
@@ -82,11 +88,21 @@ func BatchOf(ts ...*tuple.Tuple) *Batch { return &Batch{Tuples: ts} }
 // Add appends a tuple to the batch.
 func (b *Batch) Add(t *tuple.Tuple) { b.Tuples = append(b.Tuples, t) }
 
-// Len returns the number of tuples in the batch.
-func (b *Batch) Len() int { return len(b.Tuples) }
+// Len returns the number of tuples in the batch: live columnar rows when the
+// batch carries a columnar payload, row tuples otherwise.
+func (b *Batch) Len() int {
+	if b.Col != nil {
+		return b.Col.Rows()
+	}
+	return len(b.Tuples)
+}
 
-// Reset empties the batch, retaining capacity for reuse.
-func (b *Batch) Reset() { b.Tuples = b.Tuples[:0] }
+// Reset empties the batch, retaining capacity for reuse. A columnar payload
+// is detached, not recycled — the party that owns it pools it separately.
+func (b *Batch) Reset() {
+	b.Tuples = b.Tuples[:0]
+	b.Col = nil
+}
 
 // Contains reports whether t is one of the batch's tuples (by identity).
 // Engines use it to tell a module input bouncing back from a freshly

@@ -323,6 +323,7 @@ func (s *Server) execute(ctx context.Context, req QueryRequest, st *sql.Stmt, si
 		}
 		eng := eddy.NewConcurrent(r, clock.NewReal(s.cfg.TimeCompression))
 		eng.BatchSize = batch
+		eng.Columnar = !s.cfg.RowBatches
 		if streaming {
 			eng.OnOutput = func(t *tuple.Tuple, at clock.Time) { emit(t) }
 		}

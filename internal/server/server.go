@@ -47,6 +47,10 @@ type Config struct {
 	Seed int64
 	// BatchSize is the concurrent engine's default eddy batch size.
 	BatchSize int
+	// RowBatches disables the concurrent engine's columnar fast path,
+	// forcing row-tuple batches (results are identical; this is a
+	// representation toggle for comparison and incident response).
+	RowBatches bool
 	// Shards is the default SteM shard count.
 	Shards int
 	// TimeCompression scales the concurrent engine's clock (default 0.001:

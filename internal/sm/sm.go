@@ -83,3 +83,26 @@ func (s *SM) ProcessBatch(b *flow.Batch, now clock.Time) ([]flow.Emission, clock
 	s.pass.Add(uint64(len(out)))
 	return out, clock.Duration(b.Len()) * s.cost
 }
+
+// ProcessColBatch implements flow.ColModule: a columnar batch is filtered in
+// place by the vectorized predicate kernel — failing rows drop out of the
+// selection vector, no tuple is materialized, no storage moves — and the
+// batch itself bounces back with the predicate's done bit set. Row batches
+// fall through to ProcessBatch.
+func (s *SM) ProcessColBatch(b *flow.Batch, now clock.Time) ([]flow.Emission, []flow.ColEmission, clock.Duration) {
+	cb := b.Col
+	if cb == nil {
+		out, cost := s.ProcessBatch(b, now)
+		return out, nil, cost
+	}
+	in := cb.Rows()
+	live := pred.FilterColConst(cb, s.p)
+	s.in.Add(uint64(in))
+	s.pass.Add(uint64(live))
+	cost := clock.Duration(in) * s.cost
+	if live == 0 {
+		return nil, nil, cost // every row failed: batch removed from the dataflow
+	}
+	cb.Done = cb.Done.With(s.p.ID)
+	return nil, []flow.ColEmission{{B: cb}}, cost
+}

@@ -1,0 +1,465 @@
+// col.go implements the SteM's columnar fast path: builds that insert a
+// whole column-vector batch under one lock acquisition with slab-materialized
+// storage rows, and probes that walk HashDict buckets directly from
+// dictionary-encoded key vectors — no candidate list, no lookup key, and no
+// concatenated tuple is allocated per row. Output matches are gathered into a
+// pooled output ColBatch.
+//
+// The fast path is gated by colBatchOK: configurations whose semantics are
+// per-row (windowed eviction, Grace-style batched bounces, memory governors
+// and spill, custom dictionaries, index-AM completeness metadata, non-equi
+// probe bindings) fall back to materializing the batch and running the exact
+// row path, so every SteM behaviour is preserved bit-for-bit where it
+// matters — the columnar path is an optimization of the common symmetric-hash
+// configuration, not a second semantics.
+package stem
+
+import (
+	"repro/internal/clock"
+	"repro/internal/flow"
+	"repro/internal/pred"
+	"repro/internal/tuple"
+	"repro/internal/value"
+)
+
+// colBind is one equi-join binding of a probe batch into this SteM's table:
+// stored column tCol is constrained to equal the probe batch's (table, col)
+// column.
+type colBind struct {
+	tCol int
+	src  colRef
+}
+
+// isColBuild reports whether a columnar batch is a build batch for this SteM:
+// unbuilt singletons of its table (mirroring processShardLocked's dispatch;
+// EOTs and seeds never travel columnar).
+func (s *SteM) isColBuild(cb *flow.ColBatch) bool {
+	return cb.Span == tuple.Single(s.cfg.Table) && !cb.Built.Has(s.cfg.Table)
+}
+
+// colBatchOK gates the columnar fast path for one batch. Builds qualify in
+// the plain symmetric-hash configuration; probes additionally require pure
+// equi-join bindings and no index AM on the table — index EOT completeness is
+// per bound value, so batches of probes could split between consumed and
+// bounced in ways the uniform header cannot express (and the completeness
+// index can grow concurrently). Everything else materializes to rows.
+func (s *SteM) colBatchOK(cb *flow.ColBatch) bool {
+	if s.cfg.Dict != nil || s.cfg.Window > 0 || s.cfg.BuildBounceBatch > 0 ||
+		s.spillOn || s.govID >= 0 {
+		return false
+	}
+	if s.isColBuild(cb) {
+		return true
+	}
+	if s.cfg.Q.HasIndexAM(s.cfg.Table) {
+		return false
+	}
+	preds := s.cfg.Q.JoinPredsConnecting(cb.Span, s.cfg.Table)
+	if len(preds) == 0 {
+		return false
+	}
+	for _, p := range preds {
+		if _, _, op, ok := p.BindSide(cb.Span, s.cfg.Table); !ok || op != pred.Eq {
+			return false
+		}
+	}
+	return true
+}
+
+// ShardOfCol implements flow.ColSharded: builds address the hash shard of
+// their partition-column value; probes that bind the partition column via an
+// equi-join address its hash shard; everything else sweeps (flow.ShardAny).
+// It mirrors ShardOf exactly — Hash64At is value.V.Hash64 on the vector row.
+func (s *SteM) ShardOfCol(cb *flow.ColBatch, i int) int {
+	if len(s.shards) == 1 {
+		return 0
+	}
+	if s.isColBuild(cb) {
+		return int(cb.Tabs[s.cfg.Table].Cols[s.pcol].Hash64At(i) & s.shardMask)
+	}
+	for _, src := range s.pcolSources {
+		if cb.Span.Has(src.table) {
+			return int(cb.Tabs[src.table].Cols[src.col].Hash64At(i) & s.shardMask)
+		}
+	}
+	return flow.ShardAny
+}
+
+// ProcessColBatch implements flow.ColModule (single-shard dispatch).
+func (s *SteM) ProcessColBatch(b *flow.Batch, now clock.Time) ([]flow.Emission, []flow.ColEmission, clock.Duration) {
+	return s.processCol(b, -1, now)
+}
+
+// ProcessColShard implements flow.ColSharded: services a columnar batch the
+// engine partitioned to one shard's queue (or assigned here for a sweep).
+func (s *SteM) ProcessColShard(shard int, b *flow.Batch, now clock.Time) ([]flow.Emission, []flow.ColEmission, clock.Duration) {
+	return s.processCol(b, shard, now)
+}
+
+// processCol dispatches one batch: row payloads and gated configurations run
+// the exact row path (materializing columnar rows first); qualifying columnar
+// batches run the vectorized build/probe.
+func (s *SteM) processCol(b *flow.Batch, homeShard int, now clock.Time) ([]flow.Emission, []flow.ColEmission, clock.Duration) {
+	cb := b.Col
+	if cb == nil {
+		out, cost := s.processRowDelegate(b, homeShard, now)
+		return out, nil, cost
+	}
+	if !s.colBatchOK(cb) || (len(s.shards) > 1 && homeShard < 0) {
+		rb := flow.BatchOf(cb.Materialize()...)
+		out, cost := s.processRowDelegate(rb, homeShard, now)
+		return out, nil, cost
+	}
+	if s.isColBuild(cb) {
+		sh := &s.shards[0]
+		if homeShard > 0 {
+			sh = &s.shards[homeShard]
+		}
+		return s.buildCols(cb, sh)
+	}
+	// Probe: partition-bound batches probe their home shard; batches that
+	// bind no partition column sweep every shard under gmu, exactly like the
+	// row path's sweepRun.
+	if len(s.shards) > 1 && s.ShardOfCol(cb, cb.RowAt(0)) == flow.ShardAny {
+		s.gmu.Lock()
+		defer s.gmu.Unlock()
+		for _, sh := range s.all {
+			sh.mu.Lock()
+		}
+		defer func() {
+			for _, sh := range s.all {
+				sh.mu.Unlock()
+			}
+		}()
+		return s.probeCols(cb, s.all, &s.gscr, &s.gstats)
+	}
+	sh := &s.shards[0]
+	if homeShard > 0 {
+		sh = &s.shards[homeShard]
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return s.probeCols(cb, sh.self[:], &sh.scr, &sh.stats)
+}
+
+// processRowDelegate runs the row path for a batch, honouring per-shard
+// delivery when the engine addressed one.
+func (s *SteM) processRowDelegate(b *flow.Batch, homeShard int, now clock.Time) ([]flow.Emission, clock.Duration) {
+	if homeShard >= 0 {
+		return s.ProcessShard(homeShard, b, now)
+	}
+	return s.ProcessBatch(b, now)
+}
+
+// buildCols stores every live row of a build batch into sh under one lock
+// acquisition. Stored rows are slab-materialized — one backing array for the
+// whole batch — duplicates are dropped from the selection vector (consumed,
+// per Section 3.2's set semantics), and the surviving batch bounces back in
+// place with its Built bit and per-row build timestamps set: the zero-copy
+// analogue of the per-tuple build bounce.
+func (s *SteM) buildCols(cb *flow.ColBatch, sh *shard) ([]flow.Emission, []flow.ColEmission, clock.Duration) {
+	table := s.cfg.Table
+	tab := &cb.Tabs[table]
+	arity := len(tab.Cols)
+	live := cb.Rows()
+	cost := clock.Duration(live) * s.cfg.BuildCost
+
+	sh.mu.Lock()
+	hd := sh.dict.(*HashDict) // colBatchOK guarantees the default dictionary
+	slab := make([]value.V, live*arity)
+	si := 0
+	sel := cb.EnsureSel()
+	out := sel[:0]
+	stored := int64(0)
+	for _, i32 := range sel {
+		i := int(i32)
+		h := value.HashSeed
+		for c := 0; c < arity; c++ {
+			h = tab.Cols[c].HashValInto(h, i)
+		}
+		if hd.containsVec(h, tab, i) {
+			sh.stats.DupBuilds++
+			continue // duplicate from a competitive AM: consumed
+		}
+		row := tuple.Row(slab[si : si+arity : si+arity])
+		si += arity
+		for c := 0; c < arity; c++ {
+			row[c] = tab.Cols[c].ValueAt(i)
+		}
+		ts := s.cfg.TS.Next()
+		hd.insertHashed(row, ts, h)
+		cb.SetTS(table, i, ts)
+		sh.stats.Builds++
+		stored++
+		out = append(out, i32)
+	}
+	sh.mu.Unlock()
+	s.liveRows.Add(stored)
+
+	cb.Sel = out
+	if len(out) == 0 {
+		return nil, nil, cost // every row was a duplicate: batch consumed
+	}
+	cb.Built = cb.Built.With(table)
+	return nil, []flow.ColEmission{{B: cb}}, cost
+}
+
+// probeCols probes every live row of a batch against the held shards (whose
+// mutexes the caller holds): per row, the narrowest hash bucket among the
+// equi-binding columns is walked directly, candidates are verified
+// (hash-with-verify plus every newly applicable predicate) and gathered into
+// a pooled output batch, and the TimeStamp / LastMatchTimeStamp windows are
+// enforced per stored entry. The bounce decision is batch-uniform (colBatchOK
+// excluded per-row completeness); bounced batches split by matched/unmatched
+// so the HasMatches header stays truthful for routing policies.
+func (s *SteM) probeCols(cb *flow.ColBatch, held []*shard, scr *probeScratch, stats *Stats) ([]flow.Emission, []flow.ColEmission, clock.Duration) {
+	q := s.cfg.Q
+	table := s.cfg.Table
+	live := cb.Rows()
+	stats.Probes += uint64(live)
+
+	preds, ok := scr.predCache[cb.Span]
+	if !ok {
+		preds = q.JoinPredsConnecting(cb.Span, table)
+		scr.predCache[cb.Span] = preds
+	}
+	// Bind plan: stored column <- probe-side column, all equi (gated).
+	plan := scr.colPlan[:0]
+	for _, p := range preds {
+		tCol, from, _, _ := p.BindSide(cb.Span, table)
+		plan = append(plan, colBind{tCol: tCol, src: colRef{from.Table, from.Col}})
+	}
+	scr.colPlan = plan
+	// Dictionary index position per plan entry (identical across shards).
+	di := scr.colDi[:0]
+	hd0 := held[0].dict.(*HashDict)
+	for _, pl := range plan {
+		di = append(di, hd0.colIndex(pl.tCol))
+	}
+	scr.colDi = di
+
+	outSpan := cb.Span.With(table)
+	// Predicates to verify per candidate: everything newly applicable on the
+	// concatenation (the row path's verify walks the same set per tuple).
+	verify := scr.colVerify[:0]
+	var outDone tuple.PredSet
+	for _, p := range q.Preds {
+		if cb.Done.Has(p.ID) || !p.ApplicableTo(outSpan) {
+			continue
+		}
+		verify = append(verify, p)
+		outDone = outDone.With(p.ID)
+	}
+	scr.colVerify = verify
+
+	if cap(scr.colMatched) < live {
+		scr.colMatched = make([]bool, live)
+	}
+	matched := scr.colMatched[:live]
+	for k := range matched {
+		matched[k] = false
+	}
+
+	lastMatch := cb.LastMatchTS
+	var outCB *flow.ColBatch
+	totalMatches := 0
+	anyMatched, anyUnmatched := false, false
+
+	for k := 0; k < live; k++ {
+		i := cb.RowAt(k)
+		probeTS := cb.RowTS(i)
+		rowMatches := 0
+		for _, shd := range held {
+			hd := shd.dict.(*HashDict)
+			// Pick the narrowest bucket among the bind columns (the row
+			// path's Candidates heuristic), hashing key vectors via the
+			// dictionary-encoded per-code tables.
+			best := -1
+			var bestPoss []int
+			for pi, pl := range plan {
+				if di[pi] < 0 {
+					continue
+				}
+				poss := hd.bucket(di[pi], cb.Tabs[pl.src.table].Cols[pl.src.col].Hash64At(i))
+				if best < 0 || len(poss) < len(bestPoss) {
+					best, bestPoss = pi, poss
+				}
+			}
+			var entries []Entry
+			var poss []int
+			if best < 0 {
+				entries = hd.all() // no indexed bind column: full scan
+			} else {
+				poss = bestPoss
+			}
+			keyCol := -1
+			var keyVal value.V
+			if best >= 0 {
+				keyCol = plan[best].tCol
+				keyVal = cb.Value(plan[best].src.table, plan[best].src.col, i)
+			}
+			for pi := 0; ; pi++ {
+				var e Entry
+				if poss != nil {
+					if pi >= len(poss) {
+						break
+					}
+					var evicted bool
+					e, evicted = hd.entry(poss[pi])
+					if evicted {
+						continue
+					}
+					// Hash-with-verify: the bucket may hold colliding values.
+					if !e.Row[keyCol].Equal(keyVal) {
+						continue
+					}
+				} else {
+					if pi >= len(entries) {
+						break
+					}
+					e = entries[pi]
+				}
+				// TimeStamp constraint + repeated-probe guard (§3.5).
+				if e.TS >= probeTS || e.TS <= lastMatch {
+					continue
+				}
+				okRow := true
+				for _, p := range verify {
+					if !s.evalColCandidate(p, cb, i, e.Row) {
+						okRow = false
+						break
+					}
+				}
+				if !okRow {
+					continue
+				}
+				if outCB == nil {
+					outCB = s.newProbeOutput(cb, outSpan, outDone)
+				}
+				s.appendMatch(outCB, cb, i, e)
+				rowMatches++
+			}
+		}
+		if rowMatches > 0 {
+			matched[k] = true
+			anyMatched = true
+			stats.Matches += uint64(rowMatches)
+			totalMatches += rowMatches
+		} else {
+			anyUnmatched = true
+		}
+	}
+
+	var cols []flow.ColEmission
+	if outCB != nil {
+		cols = append(cols, flow.ColEmission{B: outCB})
+	}
+
+	// Bounce decision — batch-uniform: completeness is the full (scan) EOT
+	// only, and safety-via-scan depends only on header state.
+	s.eotMu.RLock()
+	complete := s.fullEOT
+	s.eotMu.RUnlock()
+	bounced := 0
+	if !complete {
+		safeViaScan := q.HasScanAM(table) && cb.Built.Contains(cb.Span)
+		if !safeViaScan {
+			var maxTS tuple.Timestamp
+			for _, shd := range held {
+				if m := shd.dict.MaxTS(); m > maxTS {
+					maxTS = m
+				}
+			}
+			bounced = live
+			stats.ProbeBounces += uint64(live)
+			if anyMatched && anyUnmatched {
+				// Split so HasMatches stays truthful per batch: matched rows
+				// move to a pooled sibling, unmatched rows keep the input
+				// batch's storage via the selection vector.
+				mb := flow.GetColBatch(cb.NTables)
+				mb.CopyHeaderFrom(cb)
+				sel := cb.EnsureSel()
+				keep := sel[:0]
+				for k, m := range matched {
+					if m {
+						mb.AppendRowFrom(cb, int(sel[k]))
+					} else {
+						keep = append(keep, sel[k])
+					}
+				}
+				cb.Sel = keep
+				for _, b := range []*flow.ColBatch{cb, mb} {
+					b.PriorProber = true
+					b.ProbeTable = table
+					b.LastMatchTS = maxTS
+				}
+				cb.HasMatches = false
+				mb.HasMatches = true
+				cols = append(cols, flow.ColEmission{B: mb}, flow.ColEmission{B: cb})
+			} else {
+				cb.PriorProber = true
+				cb.ProbeTable = table
+				cb.HasMatches = anyMatched
+				cb.LastMatchTS = maxTS
+				cols = append(cols, flow.ColEmission{B: cb})
+			}
+		}
+	}
+
+	cost := clock.Duration(live)*s.cfg.ProbeCost + clock.Duration(totalMatches+bounced)*s.cfg.PerMatchCost
+	return nil, cols, cost
+}
+
+// newProbeOutput prepares a pooled output batch for probe matches: the
+// concatenated span, the merged done bits (every newly applicable predicate
+// is verified before a row is appended), and the Built bit of the stored
+// table — exactly ConcatRowInto's state, with routing state reset.
+func (s *SteM) newProbeOutput(cb *flow.ColBatch, outSpan tuple.TableSet, outDone tuple.PredSet) *flow.ColBatch {
+	out := flow.GetColBatch(cb.NTables)
+	out.Span = outSpan
+	out.Done = cb.Done.Union(outDone)
+	out.Built = cb.Built.With(s.cfg.Table)
+	for t := range cb.Span.Each {
+		out.EnsureCols(t, len(cb.Tabs[t].Cols))
+	}
+	out.EnsureCols(s.cfg.Table, s.cfg.Q.Tables[s.cfg.Table].Arity())
+	return out
+}
+
+// appendMatch gathers the concatenation of probe row i and stored entry e
+// onto the output batch: probe-side columns and timestamps copy over, the
+// stored row fills this SteM's table with its build timestamp.
+func (s *SteM) appendMatch(out *flow.ColBatch, cb *flow.ColBatch, i int, e Entry) {
+	n := out.N()
+	for t := range cb.Span.Each {
+		stab := &cb.Tabs[t]
+		for c := range stab.Cols {
+			out.Tabs[t].Cols[c].AppendV(stab.Cols[c].ValueAt(i))
+		}
+		if ts := cb.TSAt(t, i); ts != tuple.InfTS {
+			out.SetTS(t, n, ts)
+		}
+	}
+	ttab := &out.Tabs[s.cfg.Table]
+	for c, v := range e.Row {
+		ttab.Cols[c].AppendV(v)
+	}
+	out.SetTS(s.cfg.Table, n, e.TS)
+	out.SetRowCount(n + 1)
+}
+
+// evalColCandidate evaluates predicate p on the virtual concatenation of
+// probe row i and a stored row of this SteM's table, reproducing P.Eval on
+// the materialized concatenation (EOT markers never satisfy a predicate).
+func (s *SteM) evalColCandidate(p pred.P, cb *flow.ColBatch, i int, row tuple.Row) bool {
+	table := s.cfg.Table
+	refsTable := p.Left.Table == table || (p.IsJoin() && p.Right.Table == table)
+	if !refsTable {
+		return pred.EvalCol(p, cb, i)
+	}
+	if p.IsJoin() {
+		return pred.EvalColRow(p, cb, i, table, row)
+	}
+	// Selection on the stored table, pushed late by the eddy.
+	return pred.EvalRowSel(p, row)
+}

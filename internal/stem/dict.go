@@ -11,6 +11,7 @@ package stem
 import (
 	"sort"
 
+	"repro/internal/flow"
 	"repro/internal/pred"
 	"repro/internal/tuple"
 	"repro/internal/value"
@@ -166,6 +167,68 @@ func (d *HashDict) Contains(row tuple.Row) bool {
 	}
 	return false
 }
+
+// containsVec is Contains for physical row i of a columnar table, given the
+// precomputed whole-row hash — the build-dedup check without materializing
+// the row first.
+func (d *HashDict) containsVec(h uint64, tab *flow.ColTable, i int) bool {
+	for _, p := range d.rowSet[h&d.mask] {
+		if d.evicted[p] {
+			continue
+		}
+		row := d.entries[p].Row
+		if len(row) != len(tab.Cols) {
+			continue
+		}
+		eq := true
+		for c := range row {
+			if !row[c].Equal(tab.Cols[c].ValueAt(i)) {
+				eq = false
+				break
+			}
+		}
+		if eq {
+			return true
+		}
+	}
+	return false
+}
+
+// insertHashed is Insert with the whole-row hash already computed (columnar
+// builds hash the vector row once for dedup and reuse it here).
+func (d *HashDict) insertHashed(row tuple.Row, ts tuple.Timestamp, rowHash uint64) {
+	pos := len(d.entries)
+	d.entries = append(d.entries, Entry{Row: row, TS: ts})
+	d.evicted = append(d.evicted, false)
+	d.live++
+	d.rowSet[rowHash&d.mask] = append(d.rowSet[rowHash&d.mask], pos)
+	for i, c := range d.cols {
+		k := row[c].Hash64() & d.mask
+		d.indexes[i][k] = append(d.indexes[i][k], pos)
+	}
+	if ts > d.maxTS {
+		d.maxTS = ts
+	}
+}
+
+// bucket returns the entry positions stored under value hash h in the index
+// on d.cols[di]; columnar probes iterate it directly instead of allocating a
+// candidate []Entry per probe. Candidates must be verified with Equal.
+func (d *HashDict) bucket(di int, h uint64) []int { return d.indexes[di][h&d.mask] }
+
+// colIndex returns the position of col within d's indexed columns, or -1.
+func (d *HashDict) colIndex(col int) int {
+	for i, c := range d.cols {
+		if c == col {
+			return i
+		}
+	}
+	return -1
+}
+
+// entry returns the stored entry at position p (p from bucket); evicted
+// reports whether it has been removed.
+func (d *HashDict) entry(p int) (Entry, bool) { return d.entries[p], d.evicted[p] }
 
 // Candidates implements Dict. If any lookup column has a hash index, the
 // index whose bucket is narrowest is consulted (bucket sizes may overcount

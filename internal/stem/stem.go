@@ -145,6 +145,13 @@ type probeScratch struct {
 	bindScratch tuple.Row
 	catScratch  *tuple.Tuple
 	predCache   map[tuple.TableSet][]pred.P
+	// Columnar probe scratch (col.go): the equi-bind plan, the dictionary
+	// index position per plan entry, the verify predicate set, and per-row
+	// match flags — all reused across batches under the same lock.
+	colPlan    []colBind
+	colDi      []int
+	colVerify  []pred.P
+	colMatched []bool
 }
 
 // shard is one hash partition of a SteM: a dictionary with its own lock,

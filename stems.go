@@ -113,6 +113,14 @@ type Options struct {
 	// dataflow. The simulation engine always runs batches of one (it is the
 	// deterministic reference) and ignores this option.
 	BatchSize int
+	// RowBatches disables the Concurrent engine's columnar fast path, which
+	// by default carries batches as typed column vectors (int64 arrays,
+	// dictionary-encoded strings, null/EOT bitmaps) with a selection vector,
+	// falling back to row tuples only where semantics require them. Results
+	// are identical either way; set this only to compare representations or
+	// to work around a columnar-path regression. Ignored when BatchSize is 1
+	// and by the simulation engine, which are always row-at-a-time.
+	RowBatches bool
 	// Shards hash-partitions every SteM into this many independent
 	// sub-stores (rounded up to a power of two), each with its own
 	// dictionary and lock; the Concurrent engine gives each shard its own
@@ -567,6 +575,7 @@ func (q *Query) Run(opts Options) (*Result, error) {
 		}
 		eng := eddy.NewConcurrent(r, clock.NewReal(comp))
 		eng.BatchSize = opts.BatchSize
+		eng.Columnar = !opts.RowBatches
 		if opts.OnResult != nil {
 			eng.OnOutput = func(t *tuple.Tuple, at clock.Time) {
 				opts.OnResult(Row{At: time.Duration(at), q: iq, t: t})
