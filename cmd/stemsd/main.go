@@ -14,6 +14,19 @@
 //	curl -s localhost:8080/query \
 //	  -d '{"sql":"REGISTER TABLE items FROM '\''items.csv'\'' INDEX id LATENCY 50ms"}'
 //
+// Hot queries prepare once and execute many times against the plan cache
+// (pooled router/engine shells, invalidated when REGISTER changes the
+// catalog; ad-hoc SELECTs auto-prepare under their canonical text):
+//
+//	curl -s localhost:8080/query -d '{"sql":
+//	  "PREPARE hot AS SELECT people.name, orders.total
+//	   FROM people, orders WHERE people.id = orders.person"}'
+//
+//	curl -s localhost:8080/query -d '{"sql":"EXECUTE hot"}'
+//
+// GET /plans lists prepared statements and cached plans; -plan-cache sizes
+// the cache.
+//
 // Admission control bounds concurrent queries (-max-inflight) and the wait
 // queue (-queue); per-query deadlines default to -deadline and are capped
 // at -max-deadline. /healthz reports liveness, /metrics exposes
@@ -65,6 +78,7 @@ func main() {
 	deadline := flag.Duration("deadline", 30*time.Second, "default per-query deadline")
 	maxDeadline := flag.Duration("max-deadline", 5*time.Minute, "cap on client-requested deadlines")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain window for in-flight queries")
+	planCache := flag.Int("plan-cache", 0, "plan cache capacity in entries: PREPAREd and ad-hoc SELECT plans are cached with pooled engine shells, keyed by canonical text + knobs and invalidated by REGISTER (0 uses the default of 128; negative disables caching)")
 	memBudget := flag.Int64("mem-budget", 0, "per-query resident SteM byte budget; rows beyond it spill to disk and replay (0 disables). Total SteM footprint is bounded by -max-inflight times this")
 	spillDir := flag.String("spill-dir", "", "directory for per-query spill segments (each query gets a private subdirectory, removed when it ends); empty uses the system temp dir")
 	pprofOn := flag.Bool("pprof", false, "expose Go pprof profiling endpoints under /debug/pprof/ (opt-in; profiles reveal query shapes, so leave off on untrusted networks)")
@@ -89,6 +103,7 @@ func main() {
 		TimeCompression: *compression,
 		MemBudgetBytes:  *memBudget,
 		SpillDir:        *spillDir,
+		PlanCacheSize:   *planCache,
 	})
 
 	handler := srv.Handler()

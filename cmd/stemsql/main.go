@@ -21,13 +21,27 @@
 // whose eddy moves tuples in batches of -batch (default 64; 1 is
 // tuple-at-a-time). -shards hash-partitions each SteM into that many
 // sub-stores, giving the concurrent engine one worker per shard.
+//
+// PREPARE name AS <select> parses a statement once; EXECUTE name reruns it
+// (binding against the catalog as it stands at execute time, so tables
+// REGISTERed in between are picked up). \plans lists the prepared
+// statements.
+//
+// With -server URL the REPL becomes a client of a running stemsd: every
+// statement is sent to the server (PREPARE/EXECUTE then hit its plan cache
+// and pooled engine shells), rows stream back as they are produced, and
+// \plans shows the server's prepared statements and cached plans.
 package main
 
 import (
 	"bufio"
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
@@ -61,17 +75,53 @@ func main() {
 	explain := flag.Bool("explain", false, "print a per-module adaptive-execution report after the results")
 	memBudget := flag.Int64("mem-budget", 0, "resident SteM byte budget per statement; rows beyond it spill to disk and replay (0 disables)")
 	spillDir := flag.String("spill-dir", "", "directory for spill segments (a private per-run subdirectory is created and removed); empty uses the system temp dir")
+	serverURL := flag.String("server", "", "base URL of a running stemsd (e.g. http://localhost:8080): statements run on the server instead of locally, and \\plans lists its plan cache")
 	flag.Parse()
+
+	if *serverURL != "" {
+		cli := &remoteClient{base: strings.TrimRight(*serverURL, "/")}
+		runOne := func(stmt string) bool {
+			if err := cli.run(stmt); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return false
+			}
+			return true
+		}
+		if *q != "" {
+			if !runOne(strings.TrimSuffix(strings.TrimSpace(*q), ";")) {
+				os.Exit(1)
+			}
+			return
+		}
+		repl(os.Stdin, runOne, cli.plans)
+		return
+	}
 
 	cat := server.NewCatalog(*scanInterval, "")
 	if err := cat.LoadFlagSpecs(tables, indexes); err != nil {
 		fmt.Fprintf(os.Stderr, "stemsql: %v\n", err)
 		os.Exit(1)
 	}
+	prepped := map[string]*sql.Stmt{}
 	runOne := func(stmt string) bool {
-		if err := run(stmt, cat, *policyName, *engineName, *batch, *shards, *rowBatches, *seed, *timing, *explain, *memBudget, *spillDir); err != nil {
+		if err := run(stmt, cat, prepped, *policyName, *engineName, *batch, *shards, *rowBatches, *seed, *timing, *explain, *memBudget, *spillDir); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return false
+		}
+		return true
+	}
+	localPlans := func() bool {
+		if len(prepped) == 0 {
+			fmt.Println("-- no prepared statements")
+			return true
+		}
+		names := make([]string, 0, len(prepped))
+		for n := range prepped {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Printf("%s\t%s\n", n, prepped[n].Canonical())
 		}
 		return true
 	}
@@ -82,7 +132,7 @@ func main() {
 		}
 		return
 	}
-	repl(os.Stdin, runOne)
+	repl(os.Stdin, runOne, localPlans)
 }
 
 // repl reads ';'-terminated statements (possibly spanning lines) until EOF
@@ -90,7 +140,9 @@ func main() {
 // strings, several statements may share a line, blank lines re-prompt
 // instead of quitting, and a statement still buffered at EOF runs without
 // its terminator — piped single statements work with or without ';'.
-func repl(in *os.File, runOne func(string) bool) {
+// A lone \plans (no terminator) invokes the plans hook: the server's plan
+// cache when connected, the local prepared statements otherwise.
+func repl(in *os.File, runOne func(string) bool, plans func() bool) {
 	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
 	var buf strings.Builder
@@ -106,6 +158,11 @@ func repl(in *os.File, runOne func(string) bool) {
 		line := strings.TrimSpace(sc.Text())
 		if buf.Len() == 0 && (line == `\q` || line == "quit" || line == "exit") {
 			return
+		}
+		if buf.Len() == 0 && line == `\plans` {
+			plans()
+			prompt()
+			continue
 		}
 		if line != "" {
 			if buf.Len() > 0 {
@@ -151,20 +208,43 @@ func splitStatements(s string) (complete []string, rest string) {
 	return complete, strings.TrimLeft(s[start:], " \t\n")
 }
 
-func run(stmtSrc string, cat *server.Catalog, policyName, engineName string, batch, shards int, rowBatches bool, seed int64, timing, explain bool, memBudget int64, spillDir string) error {
+func run(stmtSrc string, cat *server.Catalog, prepped map[string]*sql.Stmt, policyName, engineName string, batch, shards int, rowBatches bool, seed int64, timing, explain bool, memBudget int64, spillDir string) error {
 	parsed, err := sql.ParseStatement(stmtSrc)
 	if err != nil {
 		return err
 	}
-	stmt, ok := parsed.(*sql.Stmt)
-	if !ok {
-		reg := parsed.(*sql.RegisterStmt)
-		rows, err := cat.Apply(reg)
+	var stmt *sql.Stmt
+	switch st := parsed.(type) {
+	case *sql.RegisterStmt:
+		rows, err := cat.Apply(st)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("-- registered table %s (%d rows)\n", reg.Name, rows)
+		fmt.Printf("-- registered table %s (%d rows)\n", st.Name, rows)
 		return nil
+	case *sql.PrepareStmt:
+		if _, dup := prepped[st.Name]; dup {
+			return fmt.Errorf("stemsql: statement %q already prepared", st.Name)
+		}
+		// Bind now for early diagnostics; EXECUTE re-binds against the
+		// catalog as it stands then, exactly like the server's plan cache
+		// after a REGISTER invalidation.
+		if _, err := sql.Bind(st.Select, cat.Snapshot()); err != nil {
+			return err
+		}
+		prepped[st.Name] = st.Select
+		fmt.Printf("-- prepared %s\n", st.Name)
+		return nil
+	case *sql.ExecuteStmt:
+		sel, ok := prepped[st.Name]
+		if !ok {
+			return fmt.Errorf("stemsql: no prepared statement %q (PREPARE it first)", st.Name)
+		}
+		stmt = sel
+	case *sql.Stmt:
+		stmt = st
+	default:
+		return fmt.Errorf("stemsql: statement type %T is not runnable here", parsed)
 	}
 	bound, err := sql.Bind(stmt, cat.Snapshot())
 	if err != nil {
@@ -273,4 +353,103 @@ func printRow(w *bufio.Writer, t *tuple.Tuple, out []sql.OutputCol) {
 		}
 		fmt.Fprint(w, t.Value(oc.Table, oc.Col))
 	}
+}
+
+// remoteClient runs statements against a stemsd server instead of the
+// in-process engine: each statement POSTs to /query and the NDJSON response
+// streams to stdout as it arrives, so long-running joins show rows while
+// the server's eddy is still routing.
+type remoteClient struct {
+	base string
+	http http.Client
+}
+
+func (c *remoteClient) run(stmt string) error {
+	body, err := json.Marshal(map[string]string{"sql": stmt})
+	if err != nil {
+		return fmt.Errorf("stemsql: %v", err)
+	}
+	resp, err := c.http.Post(c.base+"/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("stemsql: %v", err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var obj map[string]any
+		if err := json.Unmarshal(line, &obj); err != nil {
+			return fmt.Errorf("stemsql: malformed response line %q: %v", line, err)
+		}
+		switch {
+		case obj["error"] != nil:
+			w.Flush()
+			return fmt.Errorf("stemsql: server: %v", obj["error"])
+		case obj["row"] != nil:
+			// Re-marshal the row object: encoding/json sorts map keys, so
+			// column order is stable across rows.
+			b, err := json.Marshal(obj["row"])
+			if err != nil {
+				return fmt.Errorf("stemsql: %v", err)
+			}
+			w.Write(b)
+			w.WriteByte('\n')
+		case obj["done"] == true:
+			fmt.Fprintf(w, "-- %v rows; %v routing steps; %v ms\n",
+				obj["rows"], obj["routing_steps"], obj["elapsed_ms"])
+		case obj["prepared"] != nil:
+			fmt.Fprintf(w, "-- prepared %v\n", obj["prepared"])
+		case obj["registered"] != nil:
+			fmt.Fprintf(w, "-- registered table %v (%v rows)\n", obj["registered"], obj["rows"])
+		default:
+			// Future line kinds pass through rather than vanish.
+			w.Write(line)
+			w.WriteByte('\n')
+		}
+	}
+	return sc.Err()
+}
+
+// plans fetches GET /plans and prints the server's named prepared
+// statements followed by its plan-cache entries in MRU order.
+func (c *remoteClient) plans() bool {
+	resp, err := c.http.Get(c.base + "/plans")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "stemsql: %v\n", err)
+		return false
+	}
+	defer resp.Body.Close()
+	var pl struct {
+		Prepared []struct {
+			Name string `json:"name"`
+			SQL  string `json:"sql"`
+		} `json:"prepared"`
+		Plans []struct {
+			SQL      string `json:"sql"`
+			Policy   string `json:"policy"`
+			Hits     uint64 `json:"hits"`
+			InFlight int64  `json:"in_flight"`
+		} `json:"plans"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&pl); err != nil {
+		fmt.Fprintf(os.Stderr, "stemsql: decoding /plans: %v\n", err)
+		return false
+	}
+	if len(pl.Prepared) == 0 && len(pl.Plans) == 0 {
+		fmt.Println("-- no prepared statements or cached plans")
+		return true
+	}
+	for _, p := range pl.Prepared {
+		fmt.Printf("prepared\t%s\t%s\n", p.Name, p.SQL)
+	}
+	for _, p := range pl.Plans {
+		fmt.Printf("plan\t%s\tpolicy=%s hits=%d in_flight=%d\n", p.SQL, p.Policy, p.Hits, p.InFlight)
+	}
+	return true
 }

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSplitStatements pins the REPL's statement splitter: ';' terminates a
+// statement only outside single-quoted strings, several statements may share
+// a line, and the trailing unterminated remainder is carried over.
+func TestSplitStatements(t *testing.T) {
+	cases := []struct {
+		name     string
+		in       string
+		complete []string
+		rest     string
+	}{
+		{"empty", "", nil, ""},
+		{"unterminated", "SELECT r.a FROM r", nil, "SELECT r.a FROM r"},
+		{"single", "SELECT r.a FROM r;", []string{"SELECT r.a FROM r"}, ""},
+		{
+			"two on one line",
+			"SELECT r.a FROM r; SELECT s.b FROM s;",
+			[]string{"SELECT r.a FROM r", " SELECT s.b FROM s"},
+			"",
+		},
+		{
+			"semicolon inside string",
+			"REGISTER TABLE t FROM 'a;b.csv';",
+			[]string{"REGISTER TABLE t FROM 'a;b.csv'"},
+			"",
+		},
+		{
+			"string spans split point",
+			"SELECT r.a FROM r WHERE r.a = 'x;",
+			nil,
+			"SELECT r.a FROM r WHERE r.a = 'x;",
+		},
+		{
+			"terminated plus remainder",
+			"SELECT r.a FROM r; SELECT s.b",
+			[]string{"SELECT r.a FROM r"},
+			"SELECT s.b",
+		},
+		{
+			"prepare then execute",
+			"PREPARE hot AS SELECT r.a FROM r, s WHERE r.a = s.b; EXECUTE hot;",
+			[]string{"PREPARE hot AS SELECT r.a FROM r, s WHERE r.a = s.b", " EXECUTE hot"},
+			"",
+		},
+		{
+			"prepare with quoted semicolon in predicate",
+			"PREPARE q AS SELECT r.a FROM r WHERE r.a = 'end;';",
+			[]string{"PREPARE q AS SELECT r.a FROM r WHERE r.a = 'end;'"},
+			"",
+		},
+		{
+			"execute buffered across lines",
+			"EXECUTE hot\nEXECUTE warm;",
+			[]string{"EXECUTE hot\nEXECUTE warm"},
+			"",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			complete, rest := splitStatements(tc.in)
+			if len(complete) != len(tc.complete) {
+				t.Fatalf("complete = %q, want %q", complete, tc.complete)
+			}
+			for i := range complete {
+				if complete[i] != tc.complete[i] {
+					t.Errorf("complete[%d] = %q, want %q", i, complete[i], tc.complete[i])
+				}
+			}
+			if rest != tc.rest {
+				t.Errorf("rest = %q, want %q", rest, tc.rest)
+			}
+		})
+	}
+}
+
+// TestSplitStatementsRestTrimmed checks the remainder has leading blank
+// space stripped so the continuation prompt lines up with real input.
+func TestSplitStatementsRestTrimmed(t *testing.T) {
+	_, rest := splitStatements("SELECT r.a FROM r; \n\t EXECUTE hot")
+	if rest != "EXECUTE hot" {
+		t.Fatalf("rest = %q, want %q", rest, "EXECUTE hot")
+	}
+	if strings.ContainsAny(rest[:1], " \t\n") {
+		t.Fatalf("rest %q starts with whitespace", rest)
+	}
+}

@@ -113,6 +113,17 @@ func (a *AM) Stats() Stats {
 	return a.stats
 }
 
+// Reset clears the AM's run state — counters and the probe-dedup cache — so
+// a pooled router can run the same query again. The source-side index built
+// at construction is immutable and is kept. Must not be called while a run
+// is in progress.
+func (a *AM) Reset() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.stats = Stats{}
+	clear(a.fetched)
+}
+
 // Process implements flow.Module.
 func (a *AM) Process(t *tuple.Tuple, now clock.Time) ([]flow.Emission, clock.Duration) {
 	if a.cfg.Disabled {

@@ -50,6 +50,15 @@ type Clock interface {
 	After(d Duration) <-chan struct{}
 }
 
+// Waiter is an optional Clock extension for allocation-free waiting: the
+// concurrent engine sleeps a modeled duration on every batch service and
+// every delayed emission, and After's per-call channel + timer garbage made
+// those waits a top allocation site. WaitOrDone blocks for the virtual
+// duration d, returning false early when done closes.
+type Waiter interface {
+	WaitOrDone(d Duration, done <-chan struct{}) bool
+}
+
 // Real is a Clock backed by wall time. Factor compresses virtual time:
 // Factor 0.001 makes one virtual second cost one real millisecond, so
 // examples reproduce the paper's multi-minute runs in tens of milliseconds.
@@ -80,6 +89,37 @@ func (r *Real) Sleep(d Duration) {
 		return
 	}
 	time.Sleep(time.Duration(float64(d) * r.factor))
+}
+
+// timerPool recycles wall-clock timers across WaitOrDone calls. Reusing a
+// timer after Stop/fire without draining is safe on Go ≥1.23: timer
+// channels are unbuffered and Reset guarantees no stale delivery.
+var timerPool sync.Pool
+
+// WaitOrDone implements Waiter with a pooled timer per wait.
+func (r *Real) WaitOrDone(d Duration, done <-chan struct{}) bool {
+	if d <= 0 {
+		return true
+	}
+	wall := time.Duration(float64(d) * r.factor)
+	if wall <= 0 {
+		return true
+	}
+	t, _ := timerPool.Get().(*time.Timer)
+	if t == nil {
+		t = time.NewTimer(wall)
+	} else {
+		t.Reset(wall)
+	}
+	fired := false
+	select {
+	case <-t.C:
+		fired = true
+	case <-done:
+		t.Stop()
+	}
+	timerPool.Put(t)
+	return fired
 }
 
 // After implements Clock.

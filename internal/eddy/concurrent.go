@@ -68,10 +68,14 @@ func putBatch(b *flow.Batch) {
 
 // inbox is an unbounded FIFO of batches; unboundedness removes the
 // eddy↔module send cycle that could otherwise deadlock bounded channels.
+// items is used as a ring-ish queue: pop consumes from head instead of
+// re-slicing, and the slice rewinds to its full capacity whenever the queue
+// drains, so a pooled shell's steady-state run stops allocating queue nodes.
 type inbox struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
 	items  []*flow.Batch
+	head   int
 	tuples int
 	closed bool
 }
@@ -84,6 +88,10 @@ func newInbox() *inbox {
 
 func (b *inbox) push(batch *flow.Batch) {
 	b.mu.Lock()
+	if b.head == len(b.items) && b.head > 0 {
+		b.items = b.items[:0]
+		b.head = 0
+	}
 	b.items = append(b.items, batch)
 	b.tuples += batch.Len()
 	b.mu.Unlock()
@@ -93,7 +101,7 @@ func (b *inbox) push(batch *flow.Batch) {
 func (b *inbox) pop() (*flow.Batch, bool) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	for len(b.items) == 0 && !b.closed {
+	for b.head == len(b.items) && !b.closed {
 		b.cond.Wait()
 	}
 	// Closed means the run is over (quiescent, timed out, or canceled):
@@ -103,8 +111,13 @@ func (b *inbox) pop() (*flow.Batch, bool) {
 	if b.closed {
 		return nil, false
 	}
-	batch := b.items[0]
-	b.items = b.items[1:]
+	batch := b.items[b.head]
+	b.items[b.head] = nil
+	b.head++
+	if b.head == len(b.items) {
+		b.items = b.items[:0]
+		b.head = 0
+	}
 	b.tuples -= batch.Len()
 	return batch, true
 }
@@ -123,6 +136,20 @@ func (b *inbox) close() {
 	b.cond.Broadcast()
 }
 
+// reopen rearms a closed inbox for a pooled shell's next run, dropping any
+// batches the previous run's shutdown left behind (capacity is kept, batch
+// references are not). Callers must guarantee no worker is still blocked in
+// pop (RunContext has returned).
+func (b *inbox) reopen() {
+	b.mu.Lock()
+	clear(b.items)
+	b.items = b.items[:0]
+	b.head = 0
+	b.tuples = 0
+	b.closed = false
+	b.mu.Unlock()
+}
+
 // eddyEvent is a message to the eddy goroutine: a batch of tuples to route,
 // policy feedback from a module worker (policies are not thread-safe, so
 // all policy calls happen on the eddy goroutine), or an already-routed
@@ -134,6 +161,19 @@ type eddyEvent struct {
 	fb         *policy.Feedback
 	deliverT   *tuple.Tuple
 	deliverMod int
+}
+
+// fbPool recycles the Feedback carriers sent through the events channel:
+// workers finish a batch per service, and boxing each report into an
+// interface-bearing event forced a heap allocation per batch. The eddy loop
+// returns carriers after Observe; carriers stranded in the channel when a run
+// is canceled are simply dropped.
+var fbPool = sync.Pool{New: func() any { return new(policy.Feedback) }}
+
+func newFeedback(fb policy.Feedback) *policy.Feedback {
+	p := fbPool.Get().(*policy.Feedback)
+	*p = fb
+	return p
 }
 
 // pendKey identifies one coalescing buffer: the tuples' shared routing span
@@ -229,8 +269,10 @@ type Concurrent struct {
 
 	mu      sync.Mutex
 	outputs []Output
-	errOnce sync.Once
-	err     error
+	// errSet arms on the first setErr of a run; an atomic.Bool rather than a
+	// sync.Once so Reset can rearm it for a pooled shell's next run.
+	errSet atomic.Bool
+	err    error
 }
 
 // NewConcurrent prepares a concurrent run. clk nil defaults to a real clock
@@ -247,6 +289,76 @@ func NewConcurrent(r Routing, clk clock.Clock) *Concurrent {
 		done:     make(chan struct{}),
 		costEWMA: make([]atomic.Int64, len(r.Modules())),
 	}
+}
+
+// setErr records the first error of the current run; later calls lose.
+func (c *Concurrent) setErr(err error) {
+	if c.errSet.CompareAndSwap(false, true) {
+		c.mu.Lock()
+		c.err = err
+		c.mu.Unlock()
+	}
+}
+
+// SetClock replaces the engine's clock before a run; nil restores the
+// default 1000×-compressed real clock. A pooled shell gets a fresh clock per
+// execution so virtual timestamps restart from zero, exactly as on a newly
+// constructed engine.
+func (c *Concurrent) SetClock(clk clock.Clock) {
+	if clk == nil {
+		clk = clock.NewReal(0.001)
+	}
+	c.clk = clk
+}
+
+// Reset returns a finished engine shell to its pre-run state so it can be
+// pooled and run again: RunContext after Reset behaves exactly like the
+// first RunContext on a fresh engine (the run-scoped scaffolding — inboxes,
+// coalescing buffers, scratch — is retained and reopened rather than
+// reallocated, which is the point of pooling). It must only be called after
+// RunContext has returned, which guarantees every goroutine of the previous
+// run has exited; the modules' own state (SteM dictionaries, AM dedup
+// caches, policy learners) belongs to the Routing and is reset through it.
+func (c *Concurrent) Reset() {
+	// The previous run closed both channels; rearm them.
+	c.events = make(chan eddyEvent, 1024)
+	c.done = make(chan struct{})
+	c.inflight.Store(0)
+	for i := range c.costEWMA {
+		c.costEWMA[i].Store(0)
+	}
+	for i := range c.anyRR {
+		c.anyRR[i].Store(0)
+	}
+	// The previous run's shutdown closed every inbox (possibly with dropped
+	// batches still queued); rearm them empty.
+	for _, boxes := range c.inboxes {
+		for _, ib := range boxes {
+			ib.reopen()
+		}
+	}
+	// A canceled run can abandon batches in the coalescing buffers; recycle
+	// them so the pooled shell starts empty.
+	for i := range c.pend {
+		for key, b := range c.pend[i] {
+			delete(c.pend[i], key)
+			putBatch(b)
+		}
+		for key, cb := range c.pendCol[i] {
+			delete(c.pendCol[i], key)
+			flow.PutColBatch(cb)
+		}
+		c.pendCount[i] = 0
+	}
+	if c.staging != nil {
+		c.staging.Reset()
+	}
+	c.colOn = false
+	c.colRouter = nil
+	c.OnOutput = nil
+	c.outputs = nil
+	c.err = nil
+	c.errSet.Store(false)
 }
 
 // Now implements policy.Env.
@@ -266,7 +378,8 @@ func (c *Concurrent) Backlog(mod int) clock.Duration {
 }
 
 // Run executes the query to completion and returns the results in output
-// order. It is safe to call once.
+// order. It is safe to call once; to run a shell again, call Reset first
+// (and Router.Reset on the routing, which owns the module state).
 func (c *Concurrent) Run() ([]Output, error) { return c.RunContext(context.Background()) }
 
 // RunContext is Run under a cancellation context: when ctx is canceled (a
@@ -279,43 +392,69 @@ func (c *Concurrent) RunContext(ctx context.Context) ([]Output, error) {
 		c.BatchSize = DefaultBatchSize
 	}
 	mods := c.r.Modules()
-	c.inboxes = make([][]*inbox, len(mods))
-	c.sharded = make([]flow.Sharded, len(mods))
-	c.pend = make([]map[pendKey]*flow.Batch, len(mods))
-	c.pendCol = make([]map[pendKey]*flow.ColBatch, len(mods))
-	c.colMod = make([]flow.ColModule, len(mods))
-	c.colShard = make([]flow.ColSharded, len(mods))
-	c.pendCount = make([]int, len(mods))
-	c.batchCap = make([]int, len(mods))
-	c.anyRR = make([]atomic.Int64, len(mods))
-	c.staging = flow.NewBatch(c.BatchSize)
+	// A shell that already ran (and was Reset) keeps its run-scoped
+	// scaffolding — inboxes, coalescing buffers, scratch slices — and only
+	// reopens it; that near-zero setup is what makes pooled shells worth
+	// caching. The module list is a property of the Routing, so a reused
+	// shell's layout always matches.
+	fresh := len(c.inboxes) != len(mods)
+	if fresh {
+		c.inboxes = make([][]*inbox, len(mods))
+		c.sharded = make([]flow.Sharded, len(mods))
+		c.pend = make([]map[pendKey]*flow.Batch, len(mods))
+		c.pendCol = make([]map[pendKey]*flow.ColBatch, len(mods))
+		c.colMod = make([]flow.ColModule, len(mods))
+		c.colShard = make([]flow.ColSharded, len(mods))
+		c.pendCount = make([]int, len(mods))
+		c.batchCap = make([]int, len(mods))
+		c.anyRR = make([]atomic.Int64, len(mods))
+		c.staging = flow.NewBatch(c.BatchSize)
+	}
+	// Columnar capability is recomputed every run: BatchSize and Columnar
+	// may change between a pooled shell's executions.
+	c.colRouter = nil
+	c.colOn = false
 	if cr, ok := c.r.(ColRouter); ok && c.Columnar && c.BatchSize > 1 {
 		c.colRouter = cr
 		c.colOn = true
-		for i, m := range mods {
+	}
+	for i, m := range mods {
+		if c.colOn {
 			c.colMod[i], _ = m.(flow.ColModule)
 			c.colShard[i], _ = m.(flow.ColSharded)
+		} else {
+			c.colMod[i], c.colShard[i] = nil, nil
 		}
 	}
 	var wg sync.WaitGroup
 	for i, m := range mods {
-		c.pend[i] = make(map[pendKey]*flow.Batch)
-		c.pendCol[i] = make(map[pendKey]*flow.ColBatch)
+		if fresh {
+			c.pend[i] = make(map[pendKey]*flow.Batch)
+			c.pendCol[i] = make(map[pendKey]*flow.ColBatch)
+		}
 		if sm, ok := m.(flow.Sharded); ok && sm.Shards() > 1 {
 			// One single-server inbox+worker per shard; per-shard batches
 			// coalesce like any single-server module's.
 			c.sharded[i] = sm
 			c.batchCap[i] = c.BatchSize
 			n := sm.Shards()
-			c.inboxes[i] = make([]*inbox, n)
+			if fresh {
+				c.inboxes[i] = make([]*inbox, n)
+				for w := 0; w < n; w++ {
+					c.inboxes[i][w] = newInbox()
+				}
+			}
 			for w := 0; w < n; w++ {
-				c.inboxes[i][w] = newInbox()
+				c.inboxes[i][w].reopen()
 				wg.Add(1)
 				go c.shardWorker(i, w, &wg)
 			}
 			continue
 		}
-		c.inboxes[i] = []*inbox{newInbox()}
+		if fresh {
+			c.inboxes[i] = []*inbox{newInbox()}
+		}
+		c.inboxes[i][0].reopen()
 		if m.Parallel() == 1 {
 			c.batchCap[i] = c.BatchSize
 		} else {
@@ -357,20 +496,12 @@ func (c *Concurrent) RunContext(ctx context.Context) ([]Output, error) {
 		cancelCh := ctx.Done()
 
 		timedOut := func() {
-			c.errOnce.Do(func() {
-				c.mu.Lock()
-				c.err = fmt.Errorf("eddy: wall timeout after %v with %d tuples in flight",
-					c.WallTimeout, c.inflight.Load())
-				c.mu.Unlock()
-			})
+			c.setErr(fmt.Errorf("eddy: wall timeout after %v with %d tuples in flight",
+				c.WallTimeout, c.inflight.Load()))
 		}
 		canceled := func() {
-			c.errOnce.Do(func() {
-				c.mu.Lock()
-				c.err = fmt.Errorf("eddy: run canceled with %d tuples in flight: %w",
-					c.inflight.Load(), ctx.Err())
-				c.mu.Unlock()
-			})
+			c.setErr(fmt.Errorf("eddy: run canceled with %d tuples in flight: %w",
+				c.inflight.Load(), ctx.Err()))
 		}
 
 		// The eddy goroutine: the only caller of RouteBatch/Choose/Observe.
@@ -415,6 +546,7 @@ func (c *Concurrent) RunContext(ctx context.Context) ([]Output, error) {
 				if ev.fb.Emitted >= 0 {
 					c.r.Policy().Observe(*ev.fb)
 				}
+				fbPool.Put(ev.fb)
 			} else if ev.deliverT != nil {
 				c.enqueue(ev.deliverMod, ev.deliverT)
 			} else if ev.b.Col != nil {
@@ -514,11 +646,7 @@ func (c *Concurrent) routeStaged() {
 	defer func() {
 		b.Reset()
 		if r := recover(); r != nil {
-			c.errOnce.Do(func() {
-				c.mu.Lock()
-				c.err = fmt.Errorf("eddy: routing panic: %v", r)
-				c.mu.Unlock()
-			})
+			c.setErr(fmt.Errorf("eddy: routing panic: %v", r))
 			c.inflight.Add(-unresolved)
 		}
 	}()
@@ -542,10 +670,8 @@ func (c *Concurrent) routeStaged() {
 			c.senders.Add(1)
 			go func() {
 				defer c.senders.Done()
-				select {
-				case <-c.clk.After(delay):
+				if c.waitOrDone(delay) {
 					c.deliverDirect(mod, dt)
-				case <-c.done:
 				}
 			}()
 		default:
@@ -562,11 +688,7 @@ func (c *Concurrent) routeColBatch(cb *flow.ColBatch) {
 	n := int64(cb.Rows())
 	defer func() {
 		if r := recover(); r != nil {
-			c.errOnce.Do(func() {
-				c.mu.Lock()
-				c.err = fmt.Errorf("eddy: routing panic: %v", r)
-				c.mu.Unlock()
-			})
+			c.setErr(fmt.Errorf("eddy: routing panic: %v", r))
 			c.inflight.Add(-n)
 		}
 	}()
@@ -595,10 +717,8 @@ func (c *Concurrent) routeColBatch(cb *flow.ColBatch) {
 		c.senders.Add(1)
 		go func() {
 			defer c.senders.Done()
-			select {
-			case <-c.clk.After(delay):
+			if c.waitOrDone(delay) {
 				c.deliverDirectCol(mod, cb)
-			case <-c.done:
 			}
 		}()
 	default:
@@ -910,6 +1030,21 @@ func (c *Concurrent) shardWorker(mod, shard int, wg *sync.WaitGroup) {
 	}
 }
 
+// waitOrDone pauses for the modeled duration d, returning false when the
+// run is canceled first. Clocks implementing clock.Waiter (the real clock)
+// wait with a pooled timer; the fallback pays After's per-call allocations.
+func (c *Concurrent) waitOrDone(d clock.Duration) bool {
+	if w, ok := c.clk.(clock.Waiter); ok {
+		return w.WaitOrDone(d, c.done)
+	}
+	select {
+	case <-c.clk.After(d):
+		return true
+	case <-c.done:
+		return false
+	}
+}
+
 // finishBatch applies the shared post-service accounting of one batch:
 // sleep the service cost, adjust the in-flight counter, report policy
 // feedback, and route the emissions onward.
@@ -918,10 +1053,7 @@ func (c *Concurrent) finishBatch(mod, shard int, b *flow.Batch, ems []flow.Emiss
 	// The modeled service cost elapses interruptibly: a canceled run must
 	// not wait out the remaining sleep (at compression 1 it is real time).
 	if cost > 0 {
-		select {
-		case <-c.clk.After(cost):
-		case <-c.done:
-		}
+		c.waitOrDone(cost)
 	}
 
 	// Account for the net dataflow change before emitting, so the
@@ -948,13 +1080,11 @@ func (c *Concurrent) finishBatch(mod, shard int, b *flow.Batch, ems []flow.Emiss
 			c.senders.Add(1)
 			go func() {
 				defer c.senders.Done()
-				select {
-				case <-c.clk.After(em.Delay):
+				if c.waitOrDone(em.Delay) {
 					select {
-					case c.events <- eddyEvent{b: flow.BatchOf(em.T)}:
+					case c.events <- eddyEvent{b: getBatchOf(em.T)}:
 					case <-c.done:
 					}
-				case <-c.done:
 				}
 			}()
 		case c.BatchSize == 1:
@@ -971,12 +1101,12 @@ func (c *Concurrent) finishBatch(mod, shard int, b *flow.Batch, ems []flow.Emiss
 	if ready != nil {
 		c.events <- eddyEvent{b: ready}
 	}
-	c.events <- eddyEvent{fb: &fb}
+	c.events <- eddyEvent{fb: newFeedback(fb)}
 	if delta < 0 {
 		if c.inflight.Add(delta) == 0 {
 			// Wake the eddy loop so it observes quiescence; Emitted -1
 			// marks it as a pure wake-up, not real feedback.
-			c.events <- eddyEvent{fb: &policy.Feedback{Module: mod, Emitted: -1}}
+			c.events <- eddyEvent{fb: newFeedback(policy.Feedback{Module: mod, Emitted: -1})}
 		}
 	}
 }
@@ -997,10 +1127,7 @@ func (c *Concurrent) finishCol(mod, shard int, b *flow.Batch, inRows int, rowEms
 	cb := b.Col
 	c.observeCost(mod, cost, inRows)
 	if cost > 0 {
-		select {
-		case <-c.clk.After(cost):
-		case <-c.done:
-		}
+		c.waitOrDone(cost)
 	}
 
 	outRows := len(rowEms)
@@ -1044,15 +1171,13 @@ func (c *Concurrent) finishCol(mod, shard int, b *flow.Batch, inRows int, rowEms
 			c.senders.Add(1)
 			go func() {
 				defer c.senders.Done()
-				select {
-				case <-c.clk.After(em.Delay):
+				if c.waitOrDone(em.Delay) {
 					shell := getBatch()
 					shell.Col = em.B
 					select {
 					case c.events <- eddyEvent{b: shell}:
 					case <-c.done:
 					}
-				case <-c.done:
 				}
 			}()
 			continue
@@ -1069,13 +1194,11 @@ func (c *Concurrent) finishCol(mod, shard int, b *flow.Batch, inRows int, rowEms
 			c.senders.Add(1)
 			go func() {
 				defer c.senders.Done()
-				select {
-				case <-c.clk.After(em.Delay):
+				if c.waitOrDone(em.Delay) {
 					select {
-					case c.events <- eddyEvent{b: flow.BatchOf(em.T)}:
+					case c.events <- eddyEvent{b: getBatchOf(em.T)}:
 					case <-c.done:
 					}
-				case <-c.done:
 				}
 			}()
 		default:
@@ -1088,10 +1211,10 @@ func (c *Concurrent) finishCol(mod, shard int, b *flow.Batch, inRows int, rowEms
 	if ready != nil {
 		c.events <- eddyEvent{b: ready}
 	}
-	c.events <- eddyEvent{fb: &fb}
+	c.events <- eddyEvent{fb: newFeedback(fb)}
 	if delta < 0 {
 		if c.inflight.Add(delta) == 0 {
-			c.events <- eddyEvent{fb: &policy.Feedback{Module: mod, Emitted: -1}}
+			c.events <- eddyEvent{fb: newFeedback(policy.Feedback{Module: mod, Emitted: -1})}
 		}
 	}
 }

@@ -1,0 +1,193 @@
+package eddy
+
+import (
+	"context"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/am"
+	"repro/internal/clock"
+	"repro/internal/oracle"
+	"repro/internal/policy"
+	"repro/internal/stem"
+)
+
+// checkShellPristine asserts that a router+engine shell is indistinguishable
+// from a freshly constructed one: every run-scoped counter, buffer, and
+// error slot at its zero value, every module's state empty. It is the
+// contract the server's plan cache relies on when it pools shells across
+// EXECUTEs.
+func checkShellPristine(t *testing.T, r *Router, eng *Concurrent) {
+	t.Helper()
+	if got := r.Routed(); got != 0 {
+		t.Errorf("routed = %d, want 0", got)
+	}
+	if got := r.Stuck(); got != 0 {
+		t.Errorf("stuck = %d, want 0", got)
+	}
+	for i, s := range r.SteMs() {
+		if got := s.Size(); got != 0 {
+			t.Errorf("stem %d size = %d, want 0", i, got)
+		}
+		if got := s.HeldBuilds(); got != 0 {
+			t.Errorf("stem %d held builds = %d, want 0", i, got)
+		}
+		if got := s.Stats(); !reflect.DeepEqual(got, stem.Stats{}) {
+			t.Errorf("stem %d stats = %+v, want zero", i, got)
+		}
+	}
+	for i, a2 := range r.AMs() {
+		if got := a2.Stats(); !reflect.DeepEqual(got, am.Stats{}) {
+			t.Errorf("am %d stats = %+v, want zero", i, got)
+		}
+	}
+	for i, m := range r.SMs() {
+		if got := m.Selectivity(); got != 1 {
+			t.Errorf("sm %d selectivity = %v, want 1 (no tuples seen)", i, got)
+		}
+	}
+
+	if got := eng.inflight.Load(); got != 0 {
+		t.Errorf("inflight = %d, want 0", got)
+	}
+	if eng.outputs != nil {
+		t.Errorf("outputs not nil: %d entries", len(eng.outputs))
+	}
+	if eng.err != nil {
+		t.Errorf("err = %v, want nil", eng.err)
+	}
+	if eng.errSet.Load() {
+		t.Error("errSet still armed")
+	}
+	if eng.colOn || eng.colRouter != nil {
+		t.Error("columnar run state survived Reset")
+	}
+	if eng.OnOutput != nil {
+		t.Error("OnOutput survived Reset")
+	}
+	for i := range eng.costEWMA {
+		if got := eng.costEWMA[i].Load(); got != 0 {
+			t.Errorf("costEWMA[%d] = %d, want 0", i, got)
+		}
+	}
+	for mod := range eng.pend {
+		if len(eng.pend[mod]) != 0 || len(eng.pendCol[mod]) != 0 {
+			t.Errorf("module %d coalescing buffers not empty", mod)
+		}
+		if eng.pendCount[mod] != 0 {
+			t.Errorf("module %d pendCount = %d, want 0", mod, eng.pendCount[mod])
+		}
+	}
+	if eng.staging != nil && eng.staging.Len() != 0 {
+		t.Errorf("staging holds %d tuples", eng.staging.Len())
+	}
+	select {
+	case <-eng.done:
+		t.Error("done channel still closed after Reset")
+	default:
+	}
+	if len(eng.events) != 0 {
+		t.Errorf("events channel holds %d entries", len(eng.events))
+	}
+	for mod, boxes := range eng.inboxes {
+		for sh, ib := range boxes {
+			ib.mu.Lock()
+			if ib.closed || len(ib.items) != 0 || ib.tuples != 0 {
+				t.Errorf("inbox %d/%d not reopened empty (closed=%v items=%d tuples=%d)",
+					mod, sh, ib.closed, len(ib.items), ib.tuples)
+			}
+			ib.mu.Unlock()
+		}
+	}
+}
+
+// resetShell applies the full pooled-reuse reset sequence the server uses
+// between EXECUTEs: module state through the router, run state through the
+// engine, a fresh policy, a fresh clock.
+func resetShell(t *testing.T, r *Router, eng *Concurrent) {
+	t.Helper()
+	pol, err := policy.ByName("benefitcost", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Reset(pol)
+	eng.Reset()
+	eng.SetClock(clock.NewReal(0.00002))
+}
+
+// TestResetShellIndistinguishableFromFresh runs one shell repeatedly —
+// Reset between runs — and asserts that after each Reset the shell's state
+// is pristine, each rerun reproduces the oracle result multiset, and no run
+// leaves a goroutine behind (the zero-leak contract extends to reuse).
+func TestResetShellIndistinguishableFromFresh(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	q := twoTableQuery(t)
+	want := oracle.Compute(q)
+	r, err := NewRouter(q, Options{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewConcurrent(r, clock.NewReal(0.00002))
+	for run := 0; run < 3; run++ {
+		outs, err := eng.Run()
+		if err != nil {
+			t.Fatalf("run %d: %v", run, err)
+		}
+		got := make(oracle.Result)
+		for _, o := range outs {
+			got[o.T.ResultKey()]++
+		}
+		missing, extra := oracle.Diff(want, got)
+		if len(missing) > 0 || len(extra) > 0 {
+			t.Fatalf("run %d: %d missing, %d extra results", run, len(missing), len(extra))
+		}
+		if r.Stuck() != 0 {
+			t.Fatalf("run %d: %d stuck tuples", run, r.Stuck())
+		}
+		waitGoroutines(t, baseline)
+		resetShell(t, r, eng)
+		checkShellPristine(t, r, eng)
+	}
+}
+
+// TestResetAfterCanceledRun: a shell whose previous run was canceled
+// mid-flight (batches stranded in inboxes and coalescing buffers) must
+// still reset to pristine and produce complete results on the next run —
+// the plan cache only pools clean shells, but Reset itself must not depend
+// on that.
+func TestResetAfterCanceledRun(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	q := bigTwoTableQuery(t)
+	want := oracle.Compute(q)
+	r, err := NewRouter(q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewConcurrent(r, clock.NewReal(1))
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	if _, err := eng.RunContext(ctx); err == nil {
+		t.Fatal("want cancellation error")
+	}
+	waitGoroutines(t, baseline)
+
+	resetShell(t, r, eng)
+	checkShellPristine(t, r, eng)
+
+	eng.SetClock(clock.NewReal(0.00002))
+	outs, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(oracle.Result)
+	for _, o := range outs {
+		got[o.T.ResultKey()]++
+	}
+	missing, extra := oracle.Diff(want, got)
+	if len(missing) > 0 || len(extra) > 0 {
+		t.Fatalf("rerun after cancel: %d missing, %d extra results", len(missing), len(extra))
+	}
+	waitGoroutines(t, baseline)
+}

@@ -147,6 +147,11 @@ type Router struct {
 	stuck atomic.Uint64
 	// routed counts routing decisions, for experiment reporting.
 	routed atomic.Uint64
+
+	// candScratch backs candidates(): routing is single-goroutine (the eddy
+	// loop, or the simulator's event loop) and no policy retains the slice
+	// past Choose, so one reused buffer serves every decision.
+	candScratch []policy.Candidate
 }
 
 // NewRouter builds the module graph for a query.
@@ -279,6 +284,33 @@ func (r *Router) Stuck() uint64 { return r.stuck.Load() }
 
 // Routed returns the number of routing decisions made.
 func (r *Router) Routed() uint64 { return r.routed.Load() }
+
+// Reset returns the router and every module it instantiated to their
+// just-constructed state, so a pooled router+engine shell can run the same
+// query again without rebuilding the module graph: SteM stores empty, AM
+// dedup caches and stats cleared, selection counters zeroed, and the build
+// timestamp counter restarted. A non-nil pol replaces the routing policy —
+// policies learn per run, so pooled reuse installs a fresh one rather than
+// leak routing statistics between executions. Must not be called while a
+// run is in progress; SteMs with custom dictionaries cannot be reset (see
+// stem.SteM.Reset) and such routers must not be pooled.
+func (r *Router) Reset(pol policy.Policy) {
+	if pol != nil {
+		r.pol = pol
+	}
+	r.counter.Reset()
+	for _, s := range r.stems {
+		s.Reset()
+	}
+	for _, a := range r.ams {
+		a.Reset()
+	}
+	for _, m := range r.sms {
+		m.Reset()
+	}
+	r.stuck.Store(0)
+	r.routed.Store(0)
+}
 
 // DrainSpill implements the engines' spill-drain hook: at quiescence —
 // every EOT delivered, no tuple in flight — each SteM with real disk spill
@@ -616,10 +648,11 @@ func (r *Router) applyChoice(t *tuple.Tuple, c policy.Candidate) Decision {
 	return d
 }
 
-// candidates computes the constraint-legal moves for a tuple.
+// candidates computes the constraint-legal moves for a tuple. The returned
+// slice is scratch, valid until the next candidates call.
 func (r *Router) candidates(t *tuple.Tuple) []policy.Candidate {
 	q := r.Q
-	var cs []policy.Candidate
+	cs := r.candScratch[:0]
 
 	// BuildFirst is enforced by Route before this point; singletons reaching
 	// here are either built or from the designated skip-build table.
@@ -651,6 +684,7 @@ func (r *Router) candidates(t *tuple.Tuple) []policy.Candidate {
 		if r.safeDrop(t) {
 			cs = append(cs, policy.Candidate{Module: r.stemMod[pt], Kind: policy.DropTuple, Table: pt})
 		}
+		r.candScratch = cs
 		return cs
 	}
 
@@ -669,6 +703,7 @@ func (r *Router) candidates(t *tuple.Tuple) []policy.Candidate {
 	// tuples spanning the skip table probe at all (they are the sole result
 	// generators), and nothing ever probes the skip table's empty SteM.
 	if r.opts.SkipBuild && !t.Span.Has(r.opts.SkipBuildTable) {
+		r.candScratch = cs
 		return cs
 	}
 	for x := 0; x < q.NumTables(); x++ {
@@ -678,7 +713,7 @@ func (r *Router) candidates(t *tuple.Tuple) []policy.Candidate {
 		if r.opts.SkipBuild && x == r.opts.SkipBuildTable {
 			continue
 		}
-		if len(q.JoinPredsConnecting(t.Span, x)) == 0 {
+		if !q.Connects(t.Span, x) {
 			continue
 		}
 		if !r.canVisit(t, r.stemMod[x]) {
@@ -691,6 +726,7 @@ func (r *Router) candidates(t *tuple.Tuple) []policy.Candidate {
 		}
 		cs = append(cs, policy.Candidate{Module: r.stemMod[x], Kind: policy.ProbeSteM, Table: x})
 	}
+	r.candScratch = cs
 	return cs
 }
 

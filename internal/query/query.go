@@ -150,6 +150,18 @@ func (q *Q) JoinPredsConnecting(span tuple.TableSet, t int) []pred.P {
 	return out
 }
 
+// Connects reports whether any join predicate connects a tuple spanning span
+// to table t: JoinPredsConnecting-is-nonempty without building the list, for
+// allocation-free routing checks.
+func (q *Q) Connects(span tuple.TableSet, t int) bool {
+	for _, p := range q.Preds {
+		if p.Connects(span, t) {
+			return true
+		}
+	}
+	return false
+}
+
 // SelectionsOn returns the selection predicates over table t.
 func (q *Q) SelectionsOn(t int) []pred.P {
 	var out []pred.P

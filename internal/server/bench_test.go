@@ -41,3 +41,40 @@ func BenchmarkServerConcurrentSessions(b *testing.B) {
 	b.StopTimer()
 	srv.Shutdown(time.Second)
 }
+
+// BenchmarkServerConcurrentSessionsPrepared is the prepared-path variant:
+// the join is PREPAREd once and every op is an EXECUTE, so the hot path
+// skips parsing the SELECT text, re-binding, and engine construction,
+// running instead on pooled router+engine shells from the plan cache.
+func BenchmarkServerConcurrentSessionsPrepared(b *testing.B) {
+	cat := memCatalog(b, time.Microsecond)
+	srv := New(cat, Config{MaxInFlight: runtime.GOMAXPROCS(0) * 2, QueueDepth: 1024})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := ts.Client()
+	client.Transport.(*http.Transport).MaxIdleConnsPerHost = 256
+	defer client.CloseIdleConnections()
+
+	if res := postQuery(b, client, ts.URL, map[string]any{"sql": "PREPARE hot AS " + threeWayJoin}); res.status != http.StatusOK {
+		b.Fatalf("PREPARE: status=%d err=%q", res.status, res.errLine)
+	}
+
+	var sid atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		session := fmt.Sprintf("bench-%d", sid.Add(1))
+		for pb.Next() {
+			res := postQuery(b, client, ts.URL, map[string]any{
+				"sql":     "EXECUTE hot",
+				"session": session,
+			})
+			if res.status != http.StatusOK || len(res.rows) != 5 {
+				b.Errorf("status=%d rows=%d err=%q", res.status, len(res.rows), res.errLine)
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	srv.Shutdown(time.Second)
+}

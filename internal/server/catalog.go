@@ -27,6 +27,12 @@ import (
 type Catalog struct {
 	mu      sync.RWMutex
 	sources map[string]sql.Source
+	// version counts catalog mutations (Put, AddIndex). The plan cache keys
+	// entries on the version a statement was bound at, so any registration
+	// lazily invalidates every cached plan by version mismatch — no
+	// enumeration of affected plans, no lock coupling between DDL and the
+	// cache.
+	version uint64
 
 	// scanInterval is the modeled inter-arrival pacing given to the scan
 	// access method of every registered table.
@@ -59,13 +65,29 @@ func (c *Catalog) Source(name string) (sql.Source, bool) {
 // lookup during one bind sees the same version regardless of concurrent
 // registrations. The copy shares the (immutable) source tables.
 func (c *Catalog) Snapshot() sql.MapCatalog {
+	snap, _ := c.SnapshotVersioned()
+	return snap
+}
+
+// SnapshotVersioned returns an immutable catalog copy together with the
+// version it reflects, taken atomically under one lock so a concurrent
+// registration cannot slip between the copy and the version read.
+func (c *Catalog) SnapshotVersioned() (sql.MapCatalog, uint64) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	out := make(sql.MapCatalog, len(c.sources))
 	for k, v := range c.sources {
 		out[k] = v
 	}
-	return out
+	return out, c.version
+}
+
+// Version returns the current catalog version; it increases on every Put
+// and AddIndex.
+func (c *Catalog) Version() uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.version
 }
 
 // Tables returns the registered table names, sorted.
@@ -87,10 +109,12 @@ func (c *Catalog) Len() int {
 	return len(c.sources)
 }
 
-// Put registers (or replaces) a source under the given name.
+// Put registers (or replaces) a source under the given name and bumps the
+// catalog version.
 func (c *Catalog) Put(name string, s sql.Source) {
 	c.mu.Lock()
 	c.sources[name] = s
+	c.version++
 	c.mu.Unlock()
 }
 
@@ -212,5 +236,6 @@ func (c *Catalog) AddIndex(table, col string, latency time.Duration) error {
 		KeyCols: []int{ci}, Latency: clock.Duration(latency), Parallel: 1,
 	})
 	c.sources[table] = src
+	c.version++
 	return nil
 }

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"strconv"
 	"time"
 
 	"repro/internal/clock"
@@ -40,22 +41,48 @@ type userError struct{ err error }
 func (e userError) Error() string { return e.err.Error() }
 func (e userError) Unwrap() error { return e.err }
 
-// rowJSON renders one result tuple as a JSON object keyed by the projected
-// column labels.
-func rowJSON(t *tuple.Tuple, out []sql.OutputCol) map[string]any {
-	m := make(map[string]any, len(out))
-	for _, oc := range out {
+const hexDigits = "0123456789abcdef"
+
+// appendRowJSON appends one NDJSON result line — {"row":{...}}\n — keyed by
+// the projected column labels. Hand-rolled: per-row encoding is the serving
+// hot path, and the map + reflection route of encoding/json costs dozens of
+// allocations per row.
+func appendRowJSON(buf []byte, t *tuple.Tuple, out []sql.OutputCol) []byte {
+	buf = append(buf, `{"row":{`...)
+	for i, oc := range out {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		buf = appendJSONString(buf, oc.Name)
+		buf = append(buf, ':')
 		v := t.Value(oc.Table, oc.Col)
 		switch v.K {
 		case value.Int:
-			m[oc.Name] = v.I
+			buf = strconv.AppendInt(buf, v.I, 10)
 		case value.Str:
-			m[oc.Name] = v.S
+			buf = appendJSONString(buf, v.S)
 		default:
-			m[oc.Name] = nil
+			buf = append(buf, "null"...)
 		}
 	}
-	return m
+	return append(buf, '}', '}', '\n')
+}
+
+// appendJSONString appends s as a JSON string literal, escaping quotes,
+// backslashes, and control characters (the only bytes JSON forbids raw).
+func appendJSONString(buf []byte, s string) []byte {
+	buf = append(buf, '"')
+	for i := 0; i < len(s); i++ {
+		switch ch := s[i]; {
+		case ch == '"' || ch == '\\':
+			buf = append(buf, '\\', ch)
+		case ch < 0x20:
+			buf = append(buf, '\\', 'u', '0', '0', hexDigits[ch>>4], hexDigits[ch&0xf])
+		default:
+			buf = append(buf, ch)
+		}
+	}
+	return append(buf, '"')
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -102,13 +129,49 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.met.register()
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(map[string]any{"registered": st.Name, "rows": rows})
+	case *sql.PrepareStmt:
+		s.handlePrepare(w, st)
+	case *sql.ExecuteStmt:
+		p, ok := s.lookupPrepared(st.Name)
+		if !ok {
+			writeJSONError(w, http.StatusBadRequest, fmt.Errorf("no prepared statement %q (PREPARE it first)", st.Name))
+			return
+		}
+		s.runQuery(w, r, req, p.stmt, p.canon)
 	case *sql.Stmt:
-		s.runQuery(w, r, req, st)
+		// Ad-hoc SELECTs auto-prepare anonymously: the canonical text is the
+		// plan-cache key, so a repeated query reuses its plan without an
+		// explicit PREPARE.
+		s.runQuery(w, r, req, st, st.Canonical())
 	}
 }
 
-// runQuery admits, executes, and streams one SELECT.
-func (s *Server) runQuery(w http.ResponseWriter, r *http.Request, req QueryRequest, st *sql.Stmt) {
+// handlePrepare validates and registers a named statement. PREPARE is
+// metadata-only — no admission slot, no execution — but it still respects
+// the drain barrier, and it binds once against the current catalog so the
+// client hears about unknown tables or columns at prepare time rather than
+// on the first EXECUTE.
+func (s *Server) handlePrepare(w http.ResponseWriter, st *sql.PrepareStmt) {
+	if s.draining.Load() {
+		writeJSONError(w, http.StatusServiceUnavailable, errDraining)
+		return
+	}
+	if _, err := sql.Bind(st.Select, s.cat.Snapshot()); err != nil {
+		writeJSONError(w, http.StatusBadRequest, err)
+		return
+	}
+	p := &preparedStmt{name: st.Name, stmt: st.Select, canon: st.Select.Canonical(), created: time.Now()}
+	if err := s.addPrepared(p); err != nil {
+		writeJSONError(w, http.StatusBadRequest, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{"prepared": p.name, "sql": p.canon})
+}
+
+// runQuery admits, executes, and streams one SELECT. canon is the
+// statement's canonical text, which keys the plan cache.
+func (s *Server) runQuery(w http.ResponseWriter, r *http.Request, req QueryRequest, st *sql.Stmt, canon string) {
 	// Register with the drain barrier first: Shutdown flips draining before
 	// waiting, so a query that slips past the flag is still waited for.
 	if !s.beginQuery() {
@@ -169,8 +232,10 @@ func (s *Server) runQuery(w http.ResponseWriter, r *http.Request, req QueryReque
 	enc := json.NewEncoder(w)
 	flusher, _ := w.(http.Flusher)
 	started := false
-	sink := func(row map[string]any) error {
-		if err := enc.Encode(map[string]any{"row": row}); err != nil {
+	buf := make([]byte, 0, 256)
+	sink := func(t *tuple.Tuple, out []sql.OutputCol) error {
+		buf = appendRowJSON(buf[:0], t, out)
+		if _, err := w.Write(buf); err != nil {
 			return err
 		}
 		started = true
@@ -180,7 +245,7 @@ func (s *Server) runQuery(w http.ResponseWriter, r *http.Request, req QueryReque
 		return nil
 	}
 
-	stats, err := s.execute(qctx, req, st, sink)
+	stats, err := s.execute(qctx, req, st, canon, sink)
 	if err != nil {
 		cause := err
 		qs := statusError
@@ -209,14 +274,8 @@ func (s *Server) runQuery(w http.ResponseWriter, r *http.Request, req QueryReque
 		return
 	}
 	s.met.finishQuery(statusOK, stats.Rows, stats.Elapsed, stats.Routed, stats.Builds, stats.Probes)
-	enc.Encode(map[string]any{
-		"done":          true,
-		"rows":          stats.Rows,
-		"elapsed_ms":    float64(stats.Elapsed) / float64(time.Millisecond),
-		"routing_steps": stats.Routed,
-		"stem_builds":   stats.Builds,
-		"index_probes":  stats.Probes,
-	})
+	fmt.Fprintf(w, `{"done":true,"rows":%d,"elapsed_ms":%g,"routing_steps":%d,"stem_builds":%d,"index_probes":%d}`+"\n",
+		stats.Rows, float64(stats.Elapsed)/float64(time.Millisecond), stats.Routed, stats.Builds, stats.Probes)
 }
 
 // beginQuery registers the query with the drain barrier; it reports false
@@ -235,13 +294,15 @@ func (s *Server) beginQuery() bool {
 // stream as the eddy emits them unless the statement has ORDER BY or LIMIT
 // (both are applied above the eddy, so those queries buffer and arrange
 // first). Engine-level statistics are returned even on a canceled run.
-func (s *Server) execute(ctx context.Context, req QueryRequest, st *sql.Stmt, sink func(map[string]any) error) (execStats, error) {
+//
+// Concurrent-engine queries without a memory budget run through the plan
+// cache (executeCached): the bound statement is reused across executions
+// with the same canonical text and knobs, and router+engine shells are
+// pooled. Sim-engine and governed queries take the fresh-build path — a
+// spill governor is per-query disk state no shell may share.
+func (s *Server) execute(ctx context.Context, req QueryRequest, st *sql.Stmt, canon string, sink func(*tuple.Tuple, []sql.OutputCol) error) (execStats, error) {
 	var stats execStats
 	start := time.Now()
-	bound, err := sql.Bind(st, s.cat.Snapshot())
-	if err != nil {
-		return stats, userError{err}
-	}
 	seed := req.Seed
 	if seed == 0 {
 		seed = s.cfg.Seed
@@ -250,15 +311,19 @@ func (s *Server) execute(ctx context.Context, req QueryRequest, st *sql.Stmt, si
 	if polName == "" {
 		polName = s.cfg.Policy
 	}
-	pol, err := policy.ByName(polName, seed)
-	if err != nil {
-		return stats, userError{err}
-	}
 	shards := req.Shards
 	if shards == 0 {
 		shards = s.cfg.Shards
 	}
-	ropts := eddy.Options{Policy: pol, Shards: shards}
+	batch := req.Batch
+	if batch == 0 {
+		batch = s.cfg.BatchSize
+	}
+	switch req.Engine {
+	case "", "concurrent", "sim":
+	default:
+		return stats, userError{fmt.Errorf("unknown engine %q (want concurrent or sim)", req.Engine)}
+	}
 	// Per-query memory limit: every admitted query runs under its own byte
 	// governor (real disk spill + replay), so MaxInFlight × budget bounds
 	// the server's total SteM footprint. Client requests tighten the server
@@ -275,6 +340,21 @@ func (s *Server) execute(ctx context.Context, req QueryRequest, st *sql.Stmt, si
 			budget = s.cfg.MemBudgetBytes
 		}
 	}
+
+	if s.plans != nil && budget == 0 && req.Engine != "sim" {
+		key := planKey{canon: canon, policy: polName, seed: seed, shards: shards, batch: batch}
+		return s.executeCached(ctx, req, st, key, sink, start)
+	}
+
+	pol, err := policy.ByName(polName, seed)
+	if err != nil {
+		return stats, userError{err}
+	}
+	bound, err := sql.Bind(st, s.cat.Snapshot())
+	if err != nil {
+		return stats, userError{err}
+	}
+	ropts := eddy.Options{Policy: pol, Shards: shards}
 	var gov *stem.Governor
 	if budget > 0 {
 		dir := s.cfg.SpillDir
@@ -305,7 +385,7 @@ func (s *Server) execute(ctx context.Context, req QueryRequest, st *sql.Stmt, si
 		if sinkErr != nil {
 			return
 		}
-		if err := sink(rowJSON(t, bound.Output)); err != nil {
+		if err := sink(t, bound.Output); err != nil {
 			sinkErr = err
 			cancel(fmt.Errorf("client write failed: %w", err))
 			return
@@ -317,10 +397,6 @@ func (s *Server) execute(ctx context.Context, req QueryRequest, st *sql.Stmt, si
 	var runErr error
 	switch req.Engine {
 	case "", "concurrent":
-		batch := req.Batch
-		if batch == 0 {
-			batch = s.cfg.BatchSize
-		}
 		eng := eddy.NewConcurrent(r, clock.NewReal(s.cfg.TimeCompression))
 		eng.BatchSize = batch
 		eng.Columnar = !s.cfg.RowBatches
@@ -360,6 +436,120 @@ func (s *Server) execute(ctx context.Context, req QueryRequest, st *sql.Stmt, si
 	}
 	if n := r.Stuck(); n > 0 {
 		return stats, fmt.Errorf("internal error: %d tuples had no legal route", n)
+	}
+	if !streaming {
+		ts := make([]*tuple.Tuple, len(outs))
+		for i, o := range outs {
+			ts[i] = o.T
+		}
+		for _, t := range bound.Arrange(ts) {
+			emit(t)
+		}
+		if sinkErr != nil {
+			return stats, sinkErr
+		}
+	}
+	return stats, nil
+}
+
+// executeCached runs one SELECT through the plan cache: the bound statement
+// is shared across executions keyed by canonical text + knobs + catalog
+// version, and router+engine shells are pooled per entry. The routing policy
+// stays with its shell across executions — the cache key pins its name and
+// seed, so reuse only ever continues the same learner, and what it learned
+// on earlier executions of the statement carries over (a warm plan routes
+// better than a cold one). The clock is installed fresh by the Reset
+// sequence (it anchors a start time); everything else survives reuse
+// untouched because eddy.Concurrent.RunContext leaves zero goroutines and
+// Reset restores the shell to a provably pristine state
+// (internal/eddy/reset_test.go).
+func (s *Server) executeCached(ctx context.Context, req QueryRequest, st *sql.Stmt, key planKey, sink func(*tuple.Tuple, []sql.OutputCol) error, start time.Time) (execStats, error) {
+	var stats execStats
+	snap, version := s.cat.SnapshotVersioned()
+	entry, hit := s.plans.acquire(key, version)
+	if !hit {
+		bound, err := sql.Bind(st, snap)
+		if err != nil {
+			return stats, userError{err}
+		}
+		entry = s.plans.insert(key, version, bound)
+	}
+	defer entry.unref()
+	bound := entry.bound
+
+	shell := entry.getShell()
+	if shell == nil {
+		pol, err := policy.ByName(key.policy, key.seed)
+		if err != nil {
+			return stats, userError{err}
+		}
+		r, err := eddy.NewRouter(bound.Q, eddy.Options{Policy: pol, Shards: key.shards})
+		if err != nil {
+			return stats, userError{err}
+		}
+		shell = &engineShell{r: r, eng: eddy.NewConcurrent(r, clock.NewReal(s.cfg.TimeCompression))}
+	} else {
+		shell.r.Reset(nil)
+		shell.eng.Reset()
+		shell.eng.SetClock(clock.NewReal(s.cfg.TimeCompression))
+	}
+	r, eng := shell.r, shell.eng
+
+	// Only cleanly completed shells go back in the pool; a canceled or
+	// failed run may leave batches stranded mid-flight, and while Reset
+	// could recover them, pooling only clean shells keeps the invariant
+	// easy to audit. The defer runs after the arrange/emit below, so the
+	// shell is never reusable while its outputs are still being read.
+	clean := false
+	defer func() {
+		if clean {
+			eng.OnOutput = nil
+			entry.putShell(shell)
+		}
+	}()
+
+	ctx, cancel := context.WithCancelCause(ctx)
+	defer cancel(nil)
+
+	streaming := len(bound.OrderBy) == 0 && bound.Limit < 0
+	var sinkErr error
+	emit := func(t *tuple.Tuple) {
+		if sinkErr != nil {
+			return
+		}
+		if err := sink(t, bound.Output); err != nil {
+			sinkErr = err
+			cancel(fmt.Errorf("client write failed: %w", err))
+			return
+		}
+		stats.Rows++
+	}
+
+	eng.BatchSize = key.batch
+	eng.Columnar = !s.cfg.RowBatches
+	if streaming {
+		eng.OnOutput = func(t *tuple.Tuple, at clock.Time) { emit(t) }
+	}
+	outs, runErr := eng.RunContext(ctx)
+
+	stats.Routed = r.Routed()
+	for _, a := range r.AMs() {
+		stats.Probes += a.Stats().Probes
+	}
+	for _, sm := range r.SteMs() {
+		stats.Builds += sm.Stats().Builds
+	}
+	stats.Elapsed = time.Since(start)
+	stuck := r.Stuck()
+	clean = runErr == nil && stuck == 0
+	if runErr != nil {
+		return stats, runErr
+	}
+	if sinkErr != nil {
+		return stats, sinkErr
+	}
+	if stuck > 0 {
+		return stats, fmt.Errorf("internal error: %d tuples had no legal route", stuck)
 	}
 	if !streaming {
 		ts := make([]*tuple.Tuple, len(outs))

@@ -71,15 +71,24 @@ func (m *metrics) register() {
 	m.mu.Unlock()
 }
 
-// gauges are point-in-time values the Server owns; passed in at render time.
+// gauges are point-in-time values the Server owns; passed in at render
+// time. The plan-cache counters ride along here too — they live in the
+// cache's own atomics, not under this struct's mutex.
 type gauges struct {
 	inflight      int64
 	queued        int64
 	sessions      int
 	tables        int
+	prepared      int
 	draining      bool
 	spillResident int64
 	spillSpilled  int64
+
+	planEntries       int
+	planHits          uint64
+	planMisses        uint64
+	planInvalidations uint64
+	planEvictions     uint64
 }
 
 // write renders the counters in the Prometheus text exposition format.
@@ -110,6 +119,14 @@ func (m *metrics) write(w io.Writer, g gauges) {
 	fmt.Fprintf(w, "stemsd_stem_builds_total %d\n", m.stemBuilds)
 	counter("stemsd_index_probes_total", "Remote index lookups across all queries.")
 	fmt.Fprintf(w, "stemsd_index_probes_total %d\n", m.indexProbes)
+	counter("stemsd_plan_cache_hits_total", "Statements served from the plan cache without re-binding.")
+	fmt.Fprintf(w, "stemsd_plan_cache_hits_total %d\n", g.planHits)
+	counter("stemsd_plan_cache_misses_total", "Statements that bound and built a fresh plan.")
+	fmt.Fprintf(w, "stemsd_plan_cache_misses_total %d\n", g.planMisses)
+	counter("stemsd_plan_cache_invalidations_total", "Cached plans dropped on catalog-version mismatch.")
+	fmt.Fprintf(w, "stemsd_plan_cache_invalidations_total %d\n", g.planInvalidations)
+	counter("stemsd_plan_cache_evictions_total", "Cached plans dropped by LRU capacity pressure.")
+	fmt.Fprintf(w, "stemsd_plan_cache_evictions_total %d\n", g.planEvictions)
 
 	gauge("stemsd_inflight_queries", "Queries currently executing.")
 	fmt.Fprintf(w, "stemsd_inflight_queries %d\n", g.inflight)
@@ -119,6 +136,10 @@ func (m *metrics) write(w io.Writer, g gauges) {
 	fmt.Fprintf(w, "stemsd_sessions_active %d\n", g.sessions)
 	gauge("stemsd_catalog_tables", "Tables registered in the shared catalog.")
 	fmt.Fprintf(w, "stemsd_catalog_tables %d\n", g.tables)
+	gauge("stemsd_plan_cache_entries", "Live plan cache entries.")
+	fmt.Fprintf(w, "stemsd_plan_cache_entries %d\n", g.planEntries)
+	gauge("stemsd_prepared_statements", "Named statements registered with PREPARE.")
+	fmt.Fprintf(w, "stemsd_prepared_statements %d\n", g.prepared)
 	gauge("stemsd_stem_resident_bytes", "Resident SteM row footprint across executing queries under a memory budget.")
 	fmt.Fprintf(w, "stemsd_stem_resident_bytes %d\n", g.spillResident)
 	gauge("stemsd_stem_spilled_bytes", "SteM row footprint spilled to disk across executing queries.")

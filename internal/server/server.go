@@ -24,6 +24,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/sql"
 	"repro/internal/stem"
 )
 
@@ -69,6 +70,10 @@ type Config struct {
 	// private os.Root-confined subdirectory, removed when the query ends);
 	// empty defaults to os.TempDir().
 	SpillDir string
+	// PlanCacheSize bounds the prepared-plan/router cache (LRU-evicted).
+	// 0 takes the default of 128; negative disables caching, so every
+	// statement re-binds and rebuilds its engine (the pre-cache behavior).
+	PlanCacheSize int
 }
 
 func (c Config) withDefaults() Config {
@@ -92,6 +97,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.TimeCompression == 0 {
 		c.TimeCompression = 0.001
+	}
+	if c.PlanCacheSize == 0 {
+		c.PlanCacheSize = 128
 	}
 	return c
 }
@@ -163,6 +171,22 @@ type Server struct {
 	// resident and spilled SteM bytes across the whole server.
 	govMu sync.Mutex
 	govs  map[*stem.Governor]struct{}
+
+	// plans is the bounded plan/router cache; nil when disabled by config.
+	plans *planCache
+	// prepared is the named-statement registry filled by PREPARE; EXECUTE
+	// resolves names here before hitting the plan cache.
+	pmu      sync.Mutex
+	prepared map[string]*preparedStmt
+}
+
+// preparedStmt is one PREPARE registration: the parsed SELECT plus its
+// canonical text, which keys the plan cache.
+type preparedStmt struct {
+	name    string
+	stmt    *sql.Stmt
+	canon   string
+	created time.Time
 }
 
 // New builds a server over the catalog.
@@ -178,12 +202,17 @@ func New(cat *Catalog, cfg Config) *Server {
 		sem:        make(chan struct{}, cfg.MaxInFlight),
 		sessions:   make(map[string]*session),
 		govs:       make(map[*stem.Governor]struct{}),
+		prepared:   make(map[string]*preparedStmt),
+	}
+	if cfg.PlanCacheSize > 0 {
+		s.plans = newPlanCache(cfg.PlanCacheSize)
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /query", s.handleQuery)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /tables", s.handleTables)
+	mux.HandleFunc("GET /plans", s.handlePlans)
 	mux.HandleFunc("POST /session", s.handleSessionCreate)
 	mux.HandleFunc("GET /sessions", s.handleSessionList)
 	mux.HandleFunc("DELETE /session/{id}", s.handleSessionDelete)
@@ -342,20 +371,27 @@ func (s *Server) spillBytes() (resident, spilled int64) {
 
 func (s *Server) gauges() gauges {
 	res, sp := s.spillBytes()
-	return gauges{
+	g := gauges{
 		inflight:      int64(len(s.sem)),
 		queued:        s.queued.Load(),
 		sessions:      s.sessionCount(),
 		tables:        s.cat.Len(),
+		prepared:      s.preparedCount(),
 		draining:      s.draining.Load(),
 		spillResident: res,
 		spillSpilled:  sp,
 	}
+	if s.plans != nil {
+		g.planEntries = s.plans.size()
+		g.planHits, g.planMisses, g.planInvalidations, g.planEvictions = s.plans.counters()
+	}
+	return g
 }
 
 // QueryRequest is the POST /query body.
 type QueryRequest struct {
-	// SQL is the statement: a SELECT or a REGISTER TABLE.
+	// SQL is the statement: a SELECT, a REGISTER TABLE, a PREPARE, or an
+	// EXECUTE.
 	SQL string `json:"sql"`
 	// Session optionally groups this query under a session ID for
 	// collective cancellation; unknown IDs are created on first use.
@@ -414,6 +450,56 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleTables(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(map[string]any{"tables": s.cat.Tables()})
+}
+
+// addPrepared registers a named statement; duplicate names are an error
+// (re-preparing under a new name is cheap, silently replacing a plan a
+// concurrent client is executing by name is a footgun).
+func (s *Server) addPrepared(p *preparedStmt) error {
+	s.pmu.Lock()
+	defer s.pmu.Unlock()
+	if _, ok := s.prepared[p.name]; ok {
+		return fmt.Errorf("statement %q already prepared", p.name)
+	}
+	s.prepared[p.name] = p
+	return nil
+}
+
+// lookupPrepared resolves an EXECUTE name.
+func (s *Server) lookupPrepared(name string) (*preparedStmt, bool) {
+	s.pmu.Lock()
+	defer s.pmu.Unlock()
+	p, ok := s.prepared[name]
+	return p, ok
+}
+
+func (s *Server) preparedCount() int {
+	s.pmu.Lock()
+	defer s.pmu.Unlock()
+	return len(s.prepared)
+}
+
+// handlePlans lists the named prepared statements and the plan cache's
+// entries in most-recently-used order.
+func (s *Server) handlePlans(w http.ResponseWriter, r *http.Request) {
+	type prepInfo struct {
+		Name    string    `json:"name"`
+		SQL     string    `json:"sql"`
+		Created time.Time `json:"created"`
+	}
+	s.pmu.Lock()
+	preps := make([]prepInfo, 0, len(s.prepared))
+	for _, p := range s.prepared {
+		preps = append(preps, prepInfo{Name: p.name, SQL: p.canon, Created: p.created})
+	}
+	s.pmu.Unlock()
+	sort.Slice(preps, func(i, j int) bool { return preps[i].Name < preps[j].Name })
+	plans := []planInfo{}
+	if s.plans != nil {
+		plans = s.plans.entries()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{"prepared": preps, "plans": plans})
 }
 
 func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {

@@ -42,6 +42,13 @@ func (s *SM) Parallel() int { return 1 }
 // Pred returns the module's predicate.
 func (s *SM) Pred() pred.P { return s.p }
 
+// Reset zeroes the observed-selectivity counters so a pooled router can run
+// the same query again with a clean slate.
+func (s *SM) Reset() {
+	s.in.Store(0)
+	s.pass.Store(0)
+}
+
 // Selectivity returns the observed pass fraction, or 1 if no tuples have
 // been seen; routing policies use it to order selections.
 func (s *SM) Selectivity() float64 {

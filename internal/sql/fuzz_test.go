@@ -20,6 +20,11 @@ func FuzzParseStatement(f *testing.F) {
 		"SELECT name FROM people WHERE name = 'O''Brien'",
 		"REGISTER TABLE people FROM 'data/people.csv'",
 		"register table t from 'x.csv' index id latency 200ms index name latency '1s'",
+		"PREPARE hot AS SELECT r.a FROM r, s WHERE r.a = s.x LIMIT 5",
+		"prepare p1 as select * from people where name = 'O''Brien'",
+		"EXECUTE hot",
+		"execute p1",
+		"SELECT prepare, execute FROM prepare WHERE execute.prepare = 1",
 		// The malformed table-driven cases.
 		"",
 		"FROM r",
@@ -43,6 +48,15 @@ func FuzzParseStatement(f *testing.F) {
 		"REGISTER TABLE p FROM 'p.csv' INDEX id LATENCY 'soon'",
 		"REGISTER TABLE p FROM 'p.csv' INDEX id LATENCY -50ms",
 		"REGISTER TABLE p FROM 'p.csv' INDEX id 200ms",
+		"PREPARE",
+		"PREPARE AS SELECT * FROM r",
+		"PREPARE p SELECT * FROM r",
+		"PREPARE p AS",
+		"PREPARE p AS REGISTER TABLE t FROM 't.csv'",
+		"PREPARE p AS EXECUTE q",
+		"EXECUTE",
+		"EXECUTE 'name'",
+		"EXECUTE p extra",
 	}
 	for _, s := range seeds {
 		f.Add(s)

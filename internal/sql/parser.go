@@ -7,12 +7,17 @@
 //	comparison := operand ( = | <> | != | < | <= | > | >= ) operand
 //	operand    := [alias '.'] column | integer | 'string'
 //
-// and the catalog-mutating statement of the serving layer:
+// and the statements of the serving layer:
 //
 //	REGISTER TABLE name FROM 'path.csv' ( INDEX column LATENCY duration )*
+//	PREPARE name AS select-statement
+//	EXECUTE name
 //
-// REGISTER, TABLE, INDEX, and LATENCY are contextual words — they stay
-// usable as column and table identifiers inside SELECT statements.
+// REGISTER, TABLE, INDEX, LATENCY, PREPARE, and EXECUTE are contextual
+// words — they stay usable as column and table identifiers inside SELECT
+// statements. Only SELECTs can be prepared: PREPARE names a statement so
+// the server can cache its bound plan and execute it repeatedly without
+// re-parsing or re-binding.
 //
 // Parse errors report the byte offset of the offending token ("position
 // N"); statements are single-line, so the offset is also the 0-based
@@ -25,12 +30,31 @@ import (
 	"time"
 )
 
-// Statement is any parsed statement: *Stmt (a SELECT) or *RegisterStmt
-// (a catalog registration).
+// Statement is any parsed statement: *Stmt (a SELECT), *RegisterStmt
+// (a catalog registration), *PrepareStmt, or *ExecuteStmt.
 type Statement interface{ isStatement() }
 
 func (*Stmt) isStatement()         {}
 func (*RegisterStmt) isStatement() {}
+func (*PrepareStmt) isStatement()  {}
+func (*ExecuteStmt) isStatement()  {}
+
+// PrepareStmt is a parsed PREPARE name AS select statement: it asks the
+// executor to remember the SELECT under the given name so later EXECUTEs
+// skip parsing and (on the server) binding and engine construction.
+type PrepareStmt struct {
+	// Name is the name the statement is prepared under.
+	Name string
+	// Select is the prepared SELECT.
+	Select *Stmt
+}
+
+// ExecuteStmt is a parsed EXECUTE name statement: it runs a previously
+// prepared SELECT.
+type ExecuteStmt struct {
+	// Name is the prepared statement's name.
+	Name string
+}
 
 // RegisterStmt is a parsed REGISTER TABLE statement: it asks the serving
 // layer to load a CSV file into the shared catalog under the given name,
@@ -140,7 +164,7 @@ func Parse(src string) (*Stmt, error) {
 	}
 	sel, ok := st.(*Stmt)
 	if !ok {
-		return nil, fmt.Errorf("sql: expected a SELECT statement, got REGISTER")
+		return nil, fmt.Errorf("sql: expected a SELECT statement")
 	}
 	return sel, nil
 }
@@ -154,9 +178,14 @@ func ParseStatement(src string) (Statement, error) {
 	}
 	p := &parser{toks: toks}
 	var st Statement
-	if p.atWord("REGISTER") {
+	switch {
+	case p.atWord("REGISTER"):
 		st, err = p.register()
-	} else {
+	case p.atWord("PREPARE"):
+		st, err = p.prepare()
+	case p.atWord("EXECUTE"):
+		st, err = p.execute()
+	default:
 		st, err = p.stmt()
 	}
 	if err != nil {
@@ -246,6 +275,39 @@ func (p *parser) register() (*RegisterStmt, error) {
 		st.Indexes = append(st.Indexes, RegisterIndex{Col: col.text, Latency: d})
 	}
 	return st, nil
+}
+
+// prepare parses PREPARE name AS select. The leading PREPARE word has been
+// recognized but not consumed. Only SELECTs can be prepared: a REGISTER
+// mutates the catalog and has nothing reusable to cache.
+func (p *parser) prepare() (*PrepareStmt, error) {
+	p.next() // PREPARE
+	name, err := p.expect(tokIdent, "", "prepared statement name")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokKeyword, "AS", "AS"); err != nil {
+		return nil, err
+	}
+	if p.atWord("REGISTER") {
+		return nil, p.errAt("cannot prepare a REGISTER statement (only SELECT)")
+	}
+	sel, err := p.stmt()
+	if err != nil {
+		return nil, err
+	}
+	return &PrepareStmt{Name: name.text, Select: sel}, nil
+}
+
+// execute parses EXECUTE name. The leading EXECUTE word has been
+// recognized but not consumed.
+func (p *parser) execute() (*ExecuteStmt, error) {
+	p.next() // EXECUTE
+	name, err := p.expect(tokIdent, "", "prepared statement name")
+	if err != nil {
+		return nil, err
+	}
+	return &ExecuteStmt{Name: name.text}, nil
 }
 
 // duration parses a latency: either a quoted Go duration ('200ms') or a

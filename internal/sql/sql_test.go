@@ -354,6 +354,14 @@ func TestParseErrorPositions(t *testing.T) {
 		{"register negative latency", "REGISTER TABLE p FROM 'p.csv' INDEX id LATENCY -50ms", "bad duration \"-50ms\""},
 		{"register negative quoted latency", "REGISTER TABLE p FROM 'p.csv' INDEX id LATENCY '-1s'", "bad duration \"-1s\""},
 		{"register missing LATENCY", "REGISTER TABLE p FROM 'p.csv' INDEX id 200ms", "position 39: expected LATENCY"},
+		{"prepare missing name", "PREPARE AS SELECT * FROM r", "position 8: expected prepared statement name"},
+		{"prepare missing AS", "PREPARE p SELECT * FROM r", "position 10: expected AS"},
+		{"prepare missing body", "PREPARE p AS", "position 12: expected SELECT"},
+		{"prepare of register", "PREPARE p AS REGISTER TABLE t FROM 't.csv'", "position 13: cannot prepare a REGISTER statement"},
+		{"prepare of execute", "PREPARE p AS EXECUTE q", "position 13: expected SELECT"},
+		{"execute missing name", "EXECUTE", "position 7: expected prepared statement name"},
+		{"execute quoted name", "EXECUTE 'p'", "position 8: expected prepared statement name"},
+		{"execute trailing garbage", "EXECUTE p extra", "position 10: unexpected"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -419,5 +427,81 @@ func TestContextualWordsStayIdentifiers(t *testing.T) {
 func TestParseRejectsRegister(t *testing.T) {
 	if _, err := Parse("REGISTER TABLE p FROM 'p.csv'"); err == nil {
 		t.Fatal("Parse must reject REGISTER statements")
+	}
+}
+
+// --- PREPARE / EXECUTE ---
+
+func TestParsePrepareExecute(t *testing.T) {
+	st, err := ParseStatement("prepare hot as SELECT r.a FROM r, s WHERE r.a = s.x LIMIT 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prep, ok := st.(*PrepareStmt)
+	if !ok {
+		t.Fatalf("parsed %T, want *PrepareStmt", st)
+	}
+	if prep.Name != "hot" || prep.Select == nil || prep.Select.Limit != 5 || len(prep.Select.From) != 2 {
+		t.Errorf("parsed %+v (select %+v)", prep, prep.Select)
+	}
+
+	st, err = ParseStatement("EXECUTE hot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, ok := st.(*ExecuteStmt)
+	if !ok {
+		t.Fatalf("parsed %T, want *ExecuteStmt", st)
+	}
+	if ex.Name != "hot" {
+		t.Errorf("name = %q", ex.Name)
+	}
+}
+
+// TestPrepareExecuteWordsStayIdentifiers: like TABLE/INDEX/LATENCY, the new
+// serving words must stay usable as ordinary identifiers in SELECTs.
+func TestPrepareExecuteWordsStayIdentifiers(t *testing.T) {
+	st, err := Parse("SELECT prepare, execute.a FROM prepare, execute AS e WHERE execute.prepare = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Select[0].Col != "prepare" || st.From[0].Source != "prepare" {
+		t.Errorf("parsed %+v", st)
+	}
+}
+
+// TestCanonical: the canonical rendering normalizes whitespace and keyword
+// case (so equivalent statements share one plan-cache key), preserves
+// identifier case, elides aliases equal to the source, and re-quotes
+// strings with ” escapes. Canonical forms must be stable under reparse.
+func TestCanonical(t *testing.T) {
+	cases := []struct {
+		src, want string
+	}{
+		{"select * from r", "SELECT * FROM r"},
+		{
+			"select  R.a ,s.y   from R, s where R.a=s.x and R.key>=2 order by R.a desc limit 3",
+			"SELECT R.a, s.y FROM R, s WHERE R.a = s.x AND R.key >= 2 ORDER BY R.a DESC LIMIT 3",
+		},
+		{"SELECT name FROM people p WHERE name = 'O''Brien'", "SELECT name FROM people AS p WHERE name = 'O''Brien'"},
+		{"SELECT a FROM r AS r", "SELECT a FROM r"},
+		{"SELECT a FROM r ORDER BY a ASC LIMIT 0", "SELECT a FROM r ORDER BY a LIMIT 0"},
+	}
+	for _, c := range cases {
+		st, err := Parse(c.src)
+		if err != nil {
+			t.Fatalf("%q: %v", c.src, err)
+		}
+		got := st.Canonical()
+		if got != c.want {
+			t.Errorf("Canonical(%q)\n  = %q\n  want %q", c.src, got, c.want)
+		}
+		again, err := Parse(got)
+		if err != nil {
+			t.Fatalf("reparse of canonical %q: %v", got, err)
+		}
+		if re := again.Canonical(); re != got {
+			t.Errorf("canonical not a fixed point: %q -> %q", got, re)
+		}
 	}
 }

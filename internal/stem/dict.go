@@ -141,6 +141,22 @@ func NewHashDict(cols []int) *HashDict {
 	return d
 }
 
+// Clear empties the dictionary in place, keeping the backing arrays and map
+// buckets so a pooled router's next run rebuilds into warm storage instead of
+// reallocating it.
+func (d *HashDict) Clear() {
+	clear(d.entries)
+	d.entries = d.entries[:0]
+	d.evicted = d.evicted[:0]
+	clear(d.rowSet)
+	for i := range d.indexes {
+		clear(d.indexes[i])
+	}
+	d.live = 0
+	d.evictHead = 0
+	d.maxTS = 0
+}
+
 // Insert implements Dict.
 func (d *HashDict) Insert(row tuple.Row, ts tuple.Timestamp) {
 	pos := len(d.entries)

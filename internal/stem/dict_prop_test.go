@@ -193,9 +193,8 @@ func TestProbeCacheCollision(t *testing.T) {
 	pc := &probeCache{}
 	// Force a collision: seed the cache so lkB's entry sits under lkA's key
 	// (same salt, different constraints — the verify step must reject it).
-	pc.m = map[uint64][]cachedCands{
-		key: {{salt: 0, cols: lkB.EquiCols, vals: lkB.EquiVals, es: []Entry{{Row: tuple.Row{value.NewInt(2)}, TS: 2}}}},
-	}
+	pc.ents = []cachedCands{{salt: 0, cols: lkB.EquiCols, vals: lkB.EquiVals, es: []Entry{{Row: tuple.Row{value.NewInt(2)}, TS: 2}}}}
+	pc.m = map[uint64][]int{key: {0}}
 	es := pc.candidates(d, lkA, 0)
 	// ListDict candidates are a full scan; the point is the cache must NOT
 	// have returned lkB's single-entry list for lkA.

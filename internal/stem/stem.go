@@ -44,6 +44,10 @@ type Counter struct {
 // for LastMatchTimeStamp purposes).
 func (c *Counter) Next() tuple.Timestamp { return c.v.Add(1) }
 
+// Reset restarts the counter from zero, for pooled plan shells that run the
+// same query repeatedly. Must not race Next.
+func (c *Counter) Reset() { c.v.Store(0) }
+
 // ProbeBounceMode selects when a SteM bounces back probe tuples beyond the
 // mandatory cases of Table 2.
 type ProbeBounceMode uint8
@@ -145,6 +149,9 @@ type probeScratch struct {
 	bindScratch tuple.Row
 	catScratch  *tuple.Tuple
 	predCache   map[tuple.TableSet][]pred.P
+	// pc is the per-run probe cache; each batch run invalidates it on entry
+	// and reuses its storage (see probeCache).
+	pc probeCache
 	// Columnar probe scratch (col.go): the equi-bind plan, the dictionary
 	// index position per plan entry, the verify predicate set, and per-row
 	// match flags — all reused across batches under the same lock.
@@ -357,6 +364,41 @@ func (s *SteM) Stats() Stats {
 	return tot
 }
 
+// Reset empties the SteM back to its just-constructed state so a pooled
+// router can run the same query again: fresh dictionaries, cleared Grace
+// bounce-back buffers, zeroed counters, no completeness metadata. The
+// per-shard predicate caches and probe scratch derive from the query, not
+// the run, and are kept — that reuse is part of the payoff of pooling.
+// Custom dictionaries and disk-backed (spilling) shards hold state the SteM
+// cannot reconstruct; such SteMs must not be pooled, and Reset panics on
+// them. Must not be called while a run is in progress.
+func (s *SteM) Reset() {
+	if s.cfg.Dict != nil || s.spillOn {
+		panic("stem: Reset requires the default in-memory dictionary without spill")
+	}
+	for _, sh := range s.all {
+		sh.mu.Lock()
+		if hd, ok := sh.dict.(*HashDict); ok {
+			hd.Clear()
+		} else {
+			sh.dict = NewHashDict(s.joinCols)
+		}
+		sh.pending = nil
+		sh.stats = Stats{}
+		sh.mu.Unlock()
+	}
+	s.liveRows.Store(0)
+	s.gmu.Lock()
+	s.gstats = Stats{}
+	s.gmu.Unlock()
+	s.eotMu.Lock()
+	s.fullEOT = false
+	s.eot = nil
+	s.eotSeen = nil
+	s.eotCount = 0
+	s.eotMu.Unlock()
+}
+
 // Size returns the number of stored rows across all shards.
 func (s *SteM) Size() int {
 	n := 0
@@ -499,9 +541,9 @@ func (s *SteM) processRuns(b *flow.Batch, homeShard int) ([]flow.Emission, clock
 		default:
 			sh := &s.shards[sd]
 			sh.mu.Lock()
-			var pc probeCache
+			sh.scr.pc.invalidate()
 			for _, t := range b.Tuples[i:j] {
-				ems, cost := s.processShardLocked(sh, t, &pc)
+				ems, cost := s.processShardLocked(sh, t, &sh.scr.pc)
 				out = append(out, ems...)
 				total += cost
 			}
@@ -557,9 +599,9 @@ func (s *SteM) sweepRun(ts []*tuple.Tuple) ([]flow.Emission, clock.Duration) {
 	}
 	var out []flow.Emission
 	var total clock.Duration
-	var pc probeCache
+	s.gscr.pc.invalidate()
 	for _, t := range ts {
-		ems := s.probeLocked(t, &pc, &s.gscr, &s.gstats, s.all)
+		ems := s.probeLocked(t, &s.gscr.pc, &s.gscr, &s.gstats, s.all)
 		cost := s.cfg.ProbeCost + clock.Duration(len(ems))*s.cfg.PerMatchCost
 		if s.govID >= 0 {
 			cost += s.cfg.Gov.probePenalty(s.govID)
@@ -578,8 +620,15 @@ func (s *SteM) sweepRun(ts []*tuple.Tuple) ([]flow.Emission, clock.Duration) {
 // equality constraints they were computed for, verifying them on every hit
 // (hash-with-verify: two lookups colliding on the 64-bit key must not share
 // candidates). Builds and evictions invalidate the cache.
+//
+// The cache lives in its synchronization domain's probeScratch and is
+// invalidated — not reallocated — between runs: the map keeps its buckets and
+// the entry arena keeps its slots (including each slot's cols/vals capacity),
+// so steady-state probing on a pooled router allocates only for genuinely new
+// keys.
 type probeCache struct {
-	m map[uint64][]cachedCands
+	m    map[uint64][]int // lookup-key hash -> indices into ents
+	ents []cachedCands
 }
 
 // cachedCands is one verified cache entry. salt carries the shard index the
@@ -593,7 +642,12 @@ type cachedCands struct {
 	es   []Entry
 }
 
-func (pc *probeCache) invalidate() { pc.m = nil }
+// invalidate empties the cache in place, keeping the map's buckets and the
+// arena's slots for reuse.
+func (pc *probeCache) invalidate() {
+	clear(pc.m)
+	pc.ents = pc.ents[:0]
+}
 
 // candidates returns d's candidates for lk, consulting and filling the
 // cache for keyable (pure-equality) lookups. salt distinguishes the shard d
@@ -607,23 +661,31 @@ func (pc *probeCache) candidates(d Dict, lk Lookup, salt uint64) []Entry {
 		return d.Candidates(lk)
 	}
 	key = value.MixUint64(key, salt)
-	for _, c := range pc.m[key] {
+	for _, i := range pc.m[key] {
+		c := &pc.ents[i]
 		if c.salt == salt && lk.equiEqual(c.cols, c.vals) {
 			return c.es
 		}
 	}
 	es := d.Candidates(lk)
 	if pc.m == nil {
-		pc.m = make(map[uint64][]cachedCands)
+		pc.m = make(map[uint64][]int)
 	}
 	// The lookup's slices are per-shard scratch reused by the next probe, so
-	// the cache keeps its own copies.
-	pc.m[key] = append(pc.m[key], cachedCands{
-		salt: salt,
-		cols: slices.Clone(lk.EquiCols),
-		vals: slices.Clone(lk.EquiVals),
-		es:   es,
-	})
+	// the cache keeps its own copies — written into a recycled arena slot
+	// when one is free, preserving its cols/vals capacity.
+	n := len(pc.ents)
+	if n < cap(pc.ents) {
+		pc.ents = pc.ents[:n+1]
+	} else {
+		pc.ents = append(pc.ents, cachedCands{})
+	}
+	c := &pc.ents[n]
+	c.salt = salt
+	c.cols = append(c.cols[:0], lk.EquiCols...)
+	c.vals = append(c.vals[:0], lk.EquiVals...)
+	c.es = es
+	pc.m[key] = append(pc.m[key], n)
 	return es
 }
 

@@ -262,14 +262,37 @@ type Tuple struct {
 	Visits []uint16
 }
 
+// blockArity is the largest query arity whose tuples are block-allocated: a
+// tupleBlock co-allocates the Tuple header with its component and timestamp
+// storage, collapsing the three allocations of a fresh tuple into one for
+// the common small-join case.
+const blockArity = 4
+
+type tupleBlock struct {
+	t    Tuple
+	comp [blockArity]Row
+	ts   [blockArity]Timestamp
+}
+
+// newTuple returns a zeroed n-ary tuple, block-allocated when n permits.
+func newTuple(n int) *Tuple {
+	if n <= blockArity {
+		b := &tupleBlock{}
+		b.t.Comp = b.comp[:n:n]
+		b.t.CompTS = b.ts[:n:n]
+		return &b.t
+	}
+	return &Tuple{Comp: make([]Row, n), CompTS: make([]Timestamp, n)}
+}
+
 // NewSingleton returns a singleton tuple (Definition 2) for table position
 // table out of n query tables.
 func NewSingleton(n, table int, row Row) *Tuple {
-	t := &Tuple{
-		Comp:   make([]Row, n),
-		CompTS: newInfTS(n),
-		Span:   Single(table),
+	t := newTuple(n)
+	for i := range t.CompTS {
+		t.CompTS[i] = InfTS
 	}
+	t.Span = Single(table)
 	t.Comp[table] = row
 	return t
 }
@@ -277,12 +300,13 @@ func NewSingleton(n, table int, row Row) *Tuple {
 // NewSeed returns the seed tuple that initializes the scan AM with module id
 // am (Section 2.1.3).
 func NewSeed(n, am int) *Tuple {
-	return &Tuple{
-		Comp:   make([]Row, n),
-		CompTS: newInfTS(n),
-		Seed:   true,
-		SeedAM: am,
+	t := newTuple(n)
+	for i := range t.CompTS {
+		t.CompTS[i] = InfTS
 	}
+	t.Seed = true
+	t.SeedAM = am
+	return t
 }
 
 // NewEOT returns an EOT tuple for the given table. The row carries the bound
@@ -291,14 +315,6 @@ func NewEOT(n, table int, row Row, boundCols []int) *Tuple {
 	t := NewSingleton(n, table, row)
 	t.EOT = &EOTInfo{Table: table, BoundCols: boundCols}
 	return t
-}
-
-func newInfTS(n int) []Timestamp {
-	ts := make([]Timestamp, n)
-	for i := range ts {
-		ts[i] = InfTS
-	}
-	return ts
 }
 
 // IsSingleton reports whether the tuple spans exactly one base table.
@@ -338,13 +354,10 @@ func (t *Tuple) Concat(m *Tuple) *Tuple {
 	if t.Span.Intersects(m.Span) {
 		panic("tuple: Concat of overlapping spans " + t.Span.String() + " and " + m.Span.String())
 	}
-	out := &Tuple{
-		Comp:   make([]Row, len(t.Comp)),
-		CompTS: make([]Timestamp, len(t.CompTS)),
-		Span:   t.Span.Union(m.Span),
-		Done:   t.Done.Union(m.Done),
-		Built:  t.Built.Union(m.Built),
-	}
+	out := newTuple(len(t.Comp))
+	out.Span = t.Span.Union(m.Span)
+	out.Done = t.Done.Union(m.Done)
+	out.Built = t.Built.Union(m.Built)
 	copy(out.Comp, t.Comp)
 	copy(out.CompTS, t.CompTS)
 	for i := range m.Span.Each {
@@ -375,7 +388,7 @@ func (t *Tuple) ConcatRowInto(dst *Tuple, table int, row Row, ts Timestamp) *Tup
 	}
 	n := len(t.Comp)
 	if dst == nil || cap(dst.Comp) < n || cap(dst.CompTS) < n {
-		dst = &Tuple{Comp: make([]Row, n), CompTS: make([]Timestamp, n)}
+		dst = newTuple(n)
 	} else {
 		*dst = Tuple{Comp: dst.Comp[:n], CompTS: dst.CompTS[:n]}
 	}

@@ -1,0 +1,129 @@
+package stems
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// TestPreparedMatchesRun executes a Prepared query many times and checks
+// every execution returns exactly the rows a one-shot Run returns.
+func TestPreparedMatchesRun(t *testing.T) {
+	oracle, err := smallJoin().Run(Options{Engine: Concurrent, TimeCompression: 0.0001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := keysOf(oracle.Rows)
+
+	p, err := smallJoin().Prepare(Options{Engine: Concurrent, TimeCompression: 0.0001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		res, err := p.Run()
+		if err != nil {
+			t.Fatalf("execution %d: %v", i, err)
+		}
+		got := keysOf(res.Rows)
+		if len(got) != len(want) {
+			t.Fatalf("execution %d: %d rows, want %d", i, len(got), len(want))
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("execution %d row %d: %q, want %q", i, j, got[j], want[j])
+			}
+		}
+		if res.Stats.SteMBuilds != oracle.Stats.SteMBuilds {
+			t.Fatalf("execution %d: %d builds, want %d (stale SteM state between runs?)",
+				i, res.Stats.SteMBuilds, oracle.Stats.SteMBuilds)
+		}
+	}
+}
+
+// TestPreparedStreamsOnResult checks the OnResult hook fires per execution
+// and is not leaked into later runs' engine state.
+func TestPreparedStreamsOnResult(t *testing.T) {
+	var streamed int
+	p, err := smallJoin().Prepare(Options{
+		Engine: Concurrent, TimeCompression: 0.0001,
+		OnResult: func(Row) { streamed++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 3; i++ {
+		res, err := p.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if streamed != 3*i {
+			t.Fatalf("after %d executions streamed %d rows, want %d", i, streamed, 3*i)
+		}
+		if len(res.Rows) != 3 {
+			t.Fatalf("execution %d returned %d rows, want 3", i, len(res.Rows))
+		}
+	}
+}
+
+// TestPreparedRecoversFromCancel cancels an execution mid-run and checks the
+// next execution still returns full results (the dirty shell is rebuilt,
+// never reused).
+func TestPreparedRecoversFromCancel(t *testing.T) {
+	p, err := smallJoin().Prepare(Options{Engine: Concurrent, TimeCompression: 0.0001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := p.RunContext(ctx); err == nil {
+		t.Fatal("canceled execution returned nil error")
+	}
+	res, err := p.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("post-cancel execution returned %d rows, want 3", len(res.Rows))
+	}
+}
+
+// TestPrepareRejectsUnpoolableOptions pins the option subset Prepare
+// supports: simulator-only hooks and per-run disk/eviction state must be
+// refused with a clear error, not silently dropped.
+func TestPrepareRejectsUnpoolableOptions(t *testing.T) {
+	cases := []struct {
+		name string
+		opts Options
+		want string
+	}{
+		{"sim engine", Options{Engine: Sim}, "requires Engine: Concurrent"},
+		{"explain", Options{Engine: Concurrent, Explain: true}, "simulation engine"},
+		{"modeled budget", Options{Engine: Concurrent, MemoryBudget: 10}, "governors"},
+		{"real spill", Options{Engine: Concurrent, MemoryBudgetBytes: 1 << 20}, "governors"},
+		{"window", Options{Engine: Concurrent, Window: map[string]int{"R": 1}}, "eviction"},
+	}
+	for _, tc := range cases {
+		if _, err := smallJoin().Prepare(tc.opts); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want contains %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestPreparedSharding checks Reset-based reuse holds with sharded SteMs:
+// multiple shards mean per-shard dictionaries, inboxes, and workers all go
+// through the reuse path.
+func TestPreparedSharding(t *testing.T) {
+	p, err := smallJoin().Prepare(Options{Engine: Concurrent, TimeCompression: 0.0001, Shards: 4, BatchSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		res, err := p.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Rows) != 3 {
+			t.Fatalf("execution %d returned %d rows, want 3", i, len(res.Rows))
+		}
+	}
+}
