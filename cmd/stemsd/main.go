@@ -81,6 +81,9 @@ func main() {
 	planCache := flag.Int("plan-cache", 0, "plan cache capacity in entries: PREPAREd and ad-hoc SELECT plans are cached with pooled engine shells, keyed by canonical text + knobs and invalidated by REGISTER (0 uses the default of 128; negative disables caching)")
 	memBudget := flag.Int64("mem-budget", 0, "per-query resident SteM byte budget; rows beyond it spill to disk and replay (0 disables). Total SteM footprint is bounded by -max-inflight times this")
 	spillDir := flag.String("spill-dir", "", "directory for per-query spill segments (each query gets a private subdirectory, removed when it ends); empty uses the system temp dir")
+	sharedStems := flag.Bool("shared-stems", false, "share SteM state across queries: the first query joining through a registered table builds its SteM once, concurrent and later queries attach probe-only handles; REGISTER invalidates lazily")
+	sharedStemBytes := flag.Int64("shared-stem-bytes", 0, "cap on the total footprint of shared SteM state; least-recently-attached idle states are evicted past it (0 = unlimited)")
+	sharedStemSpill := flag.Int64("shared-stem-spill", 0, "per-table resident budget for shared SteM builds; rows beyond it live in sealed spill segments under -spill-dir and are read at probe time (0 = fully resident)")
 	pprofOn := flag.Bool("pprof", false, "expose Go pprof profiling endpoints under /debug/pprof/ (opt-in; profiles reveal query shapes, so leave off on untrusted networks)")
 	flag.Parse()
 
@@ -104,6 +107,10 @@ func main() {
 		MemBudgetBytes:  *memBudget,
 		SpillDir:        *spillDir,
 		PlanCacheSize:   *planCache,
+
+		SharedStems:          *sharedStems,
+		SharedStemBytes:      *sharedStemBytes,
+		SharedStemSpillBytes: *sharedStemSpill,
 	})
 
 	handler := srv.Handler()

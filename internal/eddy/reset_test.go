@@ -152,6 +152,58 @@ func TestResetShellIndistinguishableFromFresh(t *testing.T) {
 	}
 }
 
+// TestResetDetachesSharedState pins the Reset contract for attached
+// (shared-state) SteMs, which the server's plan cache relies on when it
+// pools shells for queries riding catalog-owned shared SteMs: Reset must
+// DETACH — clear only per-run state (pending bounces, stats, EOT marks) —
+// and never clear the shared dictionaries, which concurrent queries may be
+// probing and later executions must find intact. A reset shell reruns
+// against the same attachment and must reproduce the oracle multiset.
+func TestResetDetachesSharedState(t *testing.T) {
+	q := twoTableQuery(t)
+	want := oracle.Compute(q)
+	ss, err := stem.BuildShared(stem.SharedConfig{KeyCols: stem.JoinCols(q, 1)}, q.AMs[q.AMsOn(1)[0]].Data.Rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ss.Close()
+	r, err := NewRouter(q, Options{SharedFor: func(tbl int) *stem.SharedState {
+		if tbl == 1 {
+			return ss
+		}
+		return nil
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewConcurrent(r, clock.NewReal(0.00002))
+	for run := 0; run < 3; run++ {
+		outs, err := eng.Run()
+		if err != nil {
+			t.Fatalf("run %d: %v", run, err)
+		}
+		got := make(oracle.Result)
+		for _, o := range outs {
+			got[o.T.ResultKey()]++
+		}
+		missing, extra := oracle.Diff(want, got)
+		if len(missing) > 0 || len(extra) > 0 {
+			t.Fatalf("run %d: %d missing, %d extra results", run, len(missing), len(extra))
+		}
+		resetShell(t, r, eng)
+		attached := r.SteMs()[1]
+		if gotSize := attached.Size(); gotSize != ss.Rows() {
+			t.Fatalf("run %d: Reset cleared the shared dictionaries: size %d, want %d", run, gotSize, ss.Rows())
+		}
+		if gotStats := attached.Stats(); !reflect.DeepEqual(gotStats, stem.Stats{}) {
+			t.Errorf("run %d: attached stats = %+v, want zero after Reset", run, gotStats)
+		}
+		if held := attached.HeldBuilds(); held != 0 {
+			t.Errorf("run %d: attached held builds = %d, want 0", run, held)
+		}
+	}
+}
+
 // TestResetAfterCanceledRun: a shell whose previous run was canceled
 // mid-flight (batches stranded in inboxes and coalescing buffers) must
 // still reset to pristine and produce complete results on the next run —

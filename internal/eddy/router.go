@@ -13,6 +13,7 @@ package eddy
 
 import (
 	"fmt"
+	"slices"
 	"sync/atomic"
 
 	"repro/internal/am"
@@ -88,6 +89,17 @@ type Options struct {
 	// Governor, when non-nil, places all SteMs under a shared memory
 	// governor (the Section 6 spilling extension).
 	Governor *stem.Governor
+	// SharedFor, when non-nil, supplies catalog-owned pre-built SteM state
+	// per table. A table with shared state gets a probe-only attached SteM
+	// over the sealed shared dictionaries (stem.Config.Shared) instead of a
+	// private build — and none of its declared access methods are
+	// instantiated: the state already holds the table's rows, so scanning or
+	// index-probing it would only rebuild what is shared. At least one table
+	// must remain unshared (its scans drive the dataflow), every shared
+	// table's join columns must equal the state's key columns, and shared
+	// tables take no custom dictionary, window, or governor. Attached SteMs
+	// adopt the state's shard count, ignoring Shards.
+	SharedFor func(table int) *stem.SharedState
 	// ApplySelectionsInAM pushes selections into access modules (Table 1
 	// semantics); otherwise selection modules handle them adaptively.
 	ApplySelectionsInAM bool
@@ -196,6 +208,40 @@ func NewRouter(q *query.Q, opts Options) (*Router, error) {
 	r.stemMod = make([]int, n)
 	r.amRefs = make([][]amRef, n)
 
+	// Shared attachments: validate before instantiating anything.
+	sharedFor := func(t int) *stem.SharedState {
+		if opts.SharedFor == nil {
+			return nil
+		}
+		return opts.SharedFor(t)
+	}
+	if opts.SharedFor != nil {
+		unshared := 0
+		for t := 0; t < n; t++ {
+			ss := sharedFor(t)
+			if ss == nil {
+				unshared++
+				continue
+			}
+			if opts.SkipBuild {
+				return nil, fmt.Errorf("eddy: SkipBuild cannot combine with shared SteM attachments")
+			}
+			if opts.DictFor != nil && opts.DictFor(t) != nil {
+				return nil, fmt.Errorf("eddy: table %s attaches shared state and cannot take a custom dictionary", q.Tables[t].Name)
+			}
+			if opts.WindowFor != nil && opts.WindowFor(t) > 0 {
+				return nil, fmt.Errorf("eddy: table %s attaches shared state and cannot be windowed", q.Tables[t].Name)
+			}
+			if !slices.Equal(stem.JoinCols(q, t), ss.KeyCols()) {
+				return nil, fmt.Errorf("eddy: table %s joins on %v but its shared state indexes %v",
+					q.Tables[t].Name, stem.JoinCols(q, t), ss.KeyCols())
+			}
+		}
+		if unshared == 0 {
+			return nil, fmt.Errorf("eddy: shared SteM attachments require at least one unshared table to drive the dataflow")
+		}
+	}
+
 	// Step 4: a SteM on each base table.
 	for t := 0; t < n; t++ {
 		cfg := stem.Config{
@@ -218,14 +264,25 @@ func NewRouter(q *query.Q, opts Options) (*Router, error) {
 		if opts.BuildBounceBatchFor != nil {
 			cfg.BuildBounceBatch = opts.BuildBounceBatchFor(t)
 		}
+		if ss := sharedFor(t); ss != nil {
+			cfg.Shared = ss
+			cfg.Gov = nil
+			cfg.BuildBounceBatch = 0
+		}
 		s := stem.New(cfg)
 		r.stemMod[t] = len(r.modules)
 		r.modules = append(r.modules, s)
 		r.stems = append(r.stems, s)
 	}
 
-	// Step 2: an AM on each declared access method.
+	// Step 2: an AM on each declared access method. Tables attached to
+	// shared state skip theirs: the sealed state already holds every row,
+	// and with no access modules the table produces no singletons, no EOTs,
+	// and no builds — its SteM is probe-only.
 	for ai := range q.AMs {
+		if sharedFor(q.AMs[ai].Table) != nil {
+			continue
+		}
 		a, err := am.New(am.Config{
 			Q:               q,
 			AMIndex:         ai,

@@ -8,6 +8,12 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"repro/internal/clock"
+	"repro/internal/schema"
+	"repro/internal/source"
+	"repro/internal/sql"
+	"repro/internal/tuple"
 )
 
 // BenchmarkServerConcurrentSessions measures end-to-end serving throughput:
@@ -40,6 +46,84 @@ func BenchmarkServerConcurrentSessions(b *testing.B) {
 	})
 	b.StopTimer()
 	srv.Shutdown(time.Second)
+}
+
+// BenchmarkServerSharedStems measures what catalog-owned shared SteMs buy
+// under concurrency: M sessions all running the same selective join over a
+// 20k-row table. In private mode every query rebuilds the big table's SteM
+// from scratch; in shared mode the first query builds it once and everyone
+// else attaches a probe-only handle, so per-op cost drops to the driver
+// scan plus probes. The sub-benchmark pair shares one workload so the two
+// numbers are directly comparable.
+func BenchmarkServerSharedStems(b *testing.B) {
+	const bigRows, smallRows = 20000, 50
+	mkCatalog := func(b *testing.B) *Catalog {
+		cat := NewCatalog(time.Microsecond, "")
+		scan := source.ScanSpec{InterArrival: clock.Duration(time.Microsecond)}
+		bigT := schema.MustTable("big", schema.IntCol("key"), schema.IntCol("a"))
+		big := make([]tuple.Row, bigRows)
+		for i := range big {
+			big[i] = intRow(int64(i), int64(i%5000))
+		}
+		sc1 := scan
+		cat.Put("big", sql.Source{Data: source.MustTable(bigT, big), Scan: &sc1})
+		smallT := schema.MustTable("small", schema.IntCol("x"), schema.IntCol("y"))
+		small := make([]tuple.Row, smallRows)
+		for j := range small {
+			small[j] = intRow(int64(j*100), int64(j))
+		}
+		sc2 := scan
+		cat.Put("small", sql.Source{Data: source.MustTable(smallT, small), Scan: &sc2})
+		return cat
+	}
+	// 50 driver tuples, each matching big.a == small.x; x ∈ {0,100,…,4900}
+	// hits 50 of the 5000 distinct a-values, 4 big rows each → 200 results.
+	const q = "SELECT small.y, big.key FROM big, small WHERE big.a = small.x"
+	for _, mode := range []struct {
+		name   string
+		shared bool
+	}{{"private", false}, {"shared", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			srv := New(mkCatalog(b), Config{
+				MaxInFlight: runtime.GOMAXPROCS(0) * 2,
+				QueueDepth:  1024,
+				SharedStems: mode.shared,
+			})
+			ts := httptest.NewServer(srv.Handler())
+			defer ts.Close()
+			client := ts.Client()
+			client.Transport.(*http.Transport).MaxIdleConnsPerHost = 256
+			defer client.CloseIdleConnections()
+
+			var sid atomic.Int64
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				session := fmt.Sprintf("bench-%d", sid.Add(1))
+				for pb.Next() {
+					res := postQuery(b, client, ts.URL, map[string]any{
+						"sql":     q,
+						"session": session,
+					})
+					if res.status != http.StatusOK || len(res.rows) != 200 {
+						b.Errorf("status=%d rows=%d err=%q", res.status, len(res.rows), res.errLine)
+						return
+					}
+				}
+			})
+			b.StopTimer()
+			if mode.shared {
+				builds, attaches, _, _ := srv.shared.counts()
+				if builds != 1 {
+					b.Errorf("shared builds = %d, want exactly 1 across %d ops", builds, b.N)
+				}
+				if attaches != uint64(b.N) {
+					b.Errorf("attachments = %d, want %d (one per op)", attaches, b.N)
+				}
+			}
+			srv.Shutdown(time.Second)
+		})
+	}
 }
 
 // BenchmarkServerConcurrentSessionsPrepared is the prepared-path variant:

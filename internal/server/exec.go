@@ -350,11 +350,27 @@ func (s *Server) execute(ctx context.Context, req QueryRequest, st *sql.Stmt, ca
 	if err != nil {
 		return stats, userError{err}
 	}
-	bound, err := sql.Bind(st, s.cat.Snapshot())
+	snap := s.cat.Snapshot()
+	bound, err := sql.Bind(st, snap)
 	if err != nil {
 		return stats, userError{err}
 	}
 	ropts := eddy.Options{Policy: pol, Shards: shards}
+	// Catalog-owned shared SteMs: governed queries stay all-private (a
+	// spill governor is per-query state, and attached tables need none),
+	// so attachment is gated on running without a memory budget. The
+	// released-only-after-return defer is safe because both engines leave
+	// zero goroutines behind when RunContext/Run returns.
+	if budget == 0 {
+		shared, err := s.shared.planAttach(st, bound.Q, snap, shards)
+		if err != nil {
+			return stats, err
+		}
+		defer shared.release()
+		if shared != nil {
+			ropts.SharedFor = shared.sharedFor
+		}
+	}
 	var gov *stem.Governor
 	if budget > 0 {
 		dir := s.cfg.SpillDir
@@ -477,17 +493,36 @@ func (s *Server) executeCached(ctx context.Context, req QueryRequest, st *sql.St
 	defer entry.unref()
 	bound := entry.bound
 
+	// Shared-SteM attachments are per-execution (the sync.Pool may drop a
+	// shell at any time, so a shell can never own a refcount): attach here,
+	// release after the run has fully unwound. A pooled shell is reusable
+	// only if its router was built against exactly these states — a rebuild
+	// after REGISTER or an eviction changes the pointers and the shell is
+	// discarded in favor of a fresh build.
+	shared, err := s.shared.planAttach(st, bound.Q, snap, key.shards)
+	if err != nil {
+		return stats, err
+	}
+	defer shared.release()
+
 	shell := entry.getShell()
+	if shell != nil && !shellSharedMatches(shell.shared, shared) {
+		shell = nil
+	}
 	if shell == nil {
 		pol, err := policy.ByName(key.policy, key.seed)
 		if err != nil {
 			return stats, userError{err}
 		}
-		r, err := eddy.NewRouter(bound.Q, eddy.Options{Policy: pol, Shards: key.shards})
+		ropts := eddy.Options{Policy: pol, Shards: key.shards}
+		if shared != nil {
+			ropts.SharedFor = shared.sharedFor
+		}
+		r, err := eddy.NewRouter(bound.Q, ropts)
 		if err != nil {
 			return stats, userError{err}
 		}
-		shell = &engineShell{r: r, eng: eddy.NewConcurrent(r, clock.NewReal(s.cfg.TimeCompression))}
+		shell = &engineShell{r: r, eng: eddy.NewConcurrent(r, clock.NewReal(s.cfg.TimeCompression)), shared: shared.statesOrNil()}
 	} else {
 		shell.r.Reset(nil)
 		shell.eng.Reset()

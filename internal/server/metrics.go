@@ -89,6 +89,14 @@ type gauges struct {
 	planMisses        uint64
 	planInvalidations uint64
 	planEvictions     uint64
+
+	sharedBuilds    uint64
+	sharedAttached  uint64
+	sharedDetached  uint64
+	sharedEvictions uint64
+	sharedResident  int64
+	sharedSpilled   int64
+	sharedEntries   int
 }
 
 // write renders the counters in the Prometheus text exposition format.
@@ -127,6 +135,14 @@ func (m *metrics) write(w io.Writer, g gauges) {
 	fmt.Fprintf(w, "stemsd_plan_cache_invalidations_total %d\n", g.planInvalidations)
 	counter("stemsd_plan_cache_evictions_total", "Cached plans dropped by LRU capacity pressure.")
 	fmt.Fprintf(w, "stemsd_plan_cache_evictions_total %d\n", g.planEvictions)
+	counter("stemsd_shared_stem_builds_total", "Shared SteM states built by the catalog (first use or rebuild after REGISTER).")
+	fmt.Fprintf(w, "stemsd_shared_stem_builds_total %d\n", g.sharedBuilds)
+	counter("stemsd_shared_stem_attached_total", "Probe-only attachments of queries to shared SteM states.")
+	fmt.Fprintf(w, "stemsd_shared_stem_attached_total %d\n", g.sharedAttached)
+	counter("stemsd_shared_stem_detaches_total", "Attachments released by finished queries.")
+	fmt.Fprintf(w, "stemsd_shared_stem_detaches_total %d\n", g.sharedDetached)
+	counter("stemsd_shared_stem_evictions_total", "Shared SteM states evicted by capacity pressure.")
+	fmt.Fprintf(w, "stemsd_shared_stem_evictions_total %d\n", g.sharedEvictions)
 
 	gauge("stemsd_inflight_queries", "Queries currently executing.")
 	fmt.Fprintf(w, "stemsd_inflight_queries %d\n", g.inflight)
@@ -144,6 +160,12 @@ func (m *metrics) write(w io.Writer, g gauges) {
 	fmt.Fprintf(w, "stemsd_stem_resident_bytes %d\n", g.spillResident)
 	gauge("stemsd_stem_spilled_bytes", "SteM row footprint spilled to disk across executing queries.")
 	fmt.Fprintf(w, "stemsd_stem_spilled_bytes %d\n", g.spillSpilled)
+	gauge("stemsd_shared_stem_entries", "Live catalog-owned shared SteM states.")
+	fmt.Fprintf(w, "stemsd_shared_stem_entries %d\n", g.sharedEntries)
+	gauge("stemsd_shared_stem_resident_bytes", "Resident row footprint of catalog-owned shared SteM states.")
+	fmt.Fprintf(w, "stemsd_shared_stem_resident_bytes %d\n", g.sharedResident)
+	gauge("stemsd_shared_stem_spilled_bytes", "Row footprint of shared SteM states held in sealed spill segments.")
+	fmt.Fprintf(w, "stemsd_shared_stem_spilled_bytes %d\n", g.sharedSpilled)
 	draining := 0
 	if g.draining {
 		draining = 1

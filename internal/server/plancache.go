@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/eddy"
 	"repro/internal/sql"
+	"repro/internal/stem"
 )
 
 // planKey identifies one executable plan shape: the canonical statement
@@ -43,6 +44,13 @@ type planKey struct {
 type engineShell struct {
 	r   *eddy.Router
 	eng *eddy.Concurrent
+	// shared records the shared-SteM states (by table position) the router
+	// was built against; executions pointer-compare it with their own
+	// attachments and discard the shell on mismatch, since a REGISTER or an
+	// eviction produces a new state a stale router must not probe. The
+	// shell holds no references — each execution attaches and releases its
+	// own, so a pool entry dropped silently by the GC leaks nothing.
+	shared []*stem.SharedState
 }
 
 // planEntry is one cached plan: the bound statement, the catalog version it

@@ -74,6 +74,21 @@ type Config struct {
 	// 0 takes the default of 128; negative disables caching, so every
 	// statement re-binds and rebuilds its engine (the pre-cache behavior).
 	PlanCacheSize int
+	// SharedStems enables catalog-owned shared SteMs: the first query that
+	// joins through a registered table builds its SteM state once, and
+	// concurrent or later queries attach probe-only handles instead of
+	// rebuilding (see sharedstems.go for the lifecycle rules). Off by
+	// default — attachment changes memory ownership from per-query to
+	// server-resident, which is an operator decision.
+	SharedStems bool
+	// SharedStemBytes, when >0, caps the total footprint of shared SteM
+	// state; least-recently-attached unreferenced entries are evicted past
+	// the cap. 0 is unlimited.
+	SharedStemBytes int64
+	// SharedStemSpillBytes, when >0, bounds each shared build's resident
+	// footprint; rows beyond it live in sealed spill segments under
+	// SpillDir and are read back at probe time. 0 keeps builds resident.
+	SharedStemSpillBytes int64
 }
 
 func (c Config) withDefaults() Config {
@@ -174,6 +189,8 @@ type Server struct {
 
 	// plans is the bounded plan/router cache; nil when disabled by config.
 	plans *planCache
+	// shared is the catalog-owned shared-SteM manager; nil when disabled.
+	shared *sharedStems
 	// prepared is the named-statement registry filled by PREPARE; EXECUTE
 	// resolves names here before hitting the plan cache.
 	pmu      sync.Mutex
@@ -206,6 +223,9 @@ func New(cat *Catalog, cfg Config) *Server {
 	}
 	if cfg.PlanCacheSize > 0 {
 		s.plans = newPlanCache(cfg.PlanCacheSize)
+	}
+	if cfg.SharedStems {
+		s.shared = newSharedStems(cfg.SharedStemBytes, cfg.SharedStemSpillBytes, cfg.SpillDir)
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /query", s.handleQuery)
@@ -257,6 +277,11 @@ func (s *Server) Shutdown(drain time.Duration) {
 		ss.close(errDraining)
 	}
 	s.smu.Unlock()
+	// Every query has unwound and released its attachments, so this tears
+	// down all shared SteM state (including spill segments on disk).
+	if s.shared != nil {
+		s.shared.closeAll()
+	}
 }
 
 // admit acquires an execution slot, waiting in the bounded queue if the
@@ -384,6 +409,11 @@ func (s *Server) gauges() gauges {
 	if s.plans != nil {
 		g.planEntries = s.plans.size()
 		g.planHits, g.planMisses, g.planInvalidations, g.planEvictions = s.plans.counters()
+	}
+	if s.shared != nil {
+		g.sharedBuilds, g.sharedAttached, g.sharedDetached, g.sharedEvictions = s.shared.counts()
+		g.sharedResident, g.sharedSpilled = s.shared.bytes()
+		g.sharedEntries = s.shared.entryCount()
 	}
 	return g
 }

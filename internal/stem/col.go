@@ -44,8 +44,11 @@ func (s *SteM) isColBuild(cb *flow.ColBatch) bool {
 // bounced in ways the uniform header cannot express (and the completeness
 // index can grow concurrently). Everything else materializes to rows.
 func (s *SteM) colBatchOK(cb *flow.ColBatch) bool {
+	// Attached (shared-state) SteMs take the exact row path: the columnar
+	// probe applies the resident TimeStamp window, which attached probes
+	// must bypass, and spilled shared partitions are only read row-wise.
 	if s.cfg.Dict != nil || s.cfg.Window > 0 || s.cfg.BuildBounceBatch > 0 ||
-		s.spillOn || s.govID >= 0 {
+		s.spillOn || s.govID >= 0 || s.shared != nil {
 		return false
 	}
 	if s.isColBuild(cb) {

@@ -109,6 +109,13 @@ type Config struct {
 	// (the Section 6 extension): rows beyond the SteM's allocation are
 	// treated as spilled, and probes pay a proportional penalty.
 	Gov *Governor
+	// Shared, when non-nil, attaches this SteM to catalog-owned sealed
+	// state (see shared.go): the SteM becomes a probe-only handle over the
+	// SharedState's dictionaries — always complete, never built into, shard
+	// count fixed by the state. Shards, Dict, Window, BuildBounceBatch, and
+	// Gov must be unset; the table's join columns must equal the state's key
+	// columns.
+	Shared *SharedState
 }
 
 // Stats are cumulative SteM counters, exposed for experiments and tests.
@@ -236,6 +243,14 @@ type SteM struct {
 
 	// govID is this SteM's membership handle in cfg.Gov (-1 when ungoverned).
 	govID int
+
+	// shared is the catalog-owned state this SteM is attached to (nil for a
+	// private SteM). Attached SteMs never build, never bounce probes, ignore
+	// the TimeStamp window (the state is sealed before the query starts, so
+	// the probe's window is exactly "everything stored"), and concatenate
+	// shared rows with component timestamp 0 so the state's build counter
+	// never mixes with the query's own.
+	shared *SharedState
 }
 
 // eotIdx is the completeness metadata of index EOT tuples for one
@@ -248,6 +263,9 @@ type eotIdx struct {
 
 // New creates a SteM from a config.
 func New(cfg Config) *SteM {
+	if cfg.Shared != nil {
+		return newAttached(cfg)
+	}
 	s := &SteM{
 		cfg:      cfg,
 		name:     fmt.Sprintf("SteM(%s)", cfg.Q.Tables[cfg.Table].Name),
@@ -375,6 +393,28 @@ func (s *SteM) Stats() Stats {
 func (s *SteM) Reset() {
 	if s.cfg.Dict != nil || s.spillOn {
 		panic("stem: Reset requires the default in-memory dictionary without spill")
+	}
+	if s.shared != nil {
+		// Detach, don't clear: the dictionaries belong to the SharedState
+		// and other queries are probing them concurrently. Only this
+		// handle's per-run state resets (reset_test.go pins this contract
+		// for pooled plan-cache shells).
+		for _, sh := range s.all {
+			sh.mu.Lock()
+			sh.pending = nil
+			sh.stats = Stats{}
+			sh.mu.Unlock()
+		}
+		s.gmu.Lock()
+		s.gstats = Stats{}
+		s.gmu.Unlock()
+		s.eotMu.Lock()
+		s.fullEOT = false
+		s.eot = nil
+		s.eotSeen = nil
+		s.eotCount = 0
+		s.eotMu.Unlock()
+		return
 	}
 	for _, sh := range s.all {
 		sh.mu.Lock()
@@ -697,6 +737,11 @@ func (pc *probeCache) candidates(d Dict, lk Lookup, salt uint64) []Entry {
 // migrates to disk later, so live matching covers exactly the resident rows
 // and replay covers exactly the spilled ones.
 func (s *SteM) build(sh *shard, t *tuple.Tuple) []flow.Emission {
+	if s.shared != nil {
+		// Unreachable by construction: the router creates no access methods
+		// for attached tables, so no singleton of this table ever exists.
+		panic("stem: build routed to an attached (shared-state) SteM")
+	}
 	row := t.Comp[s.cfg.Table]
 	if sh.dict.Contains(row) || (sh.spill != nil && sh.spill.contains(row)) {
 		sh.stats.DupBuilds++
@@ -909,15 +954,23 @@ func (s *SteM) probeLocked(t *tuple.Tuple, pc *probeCache, scr *probeScratch, st
 	var out []flow.Emission
 	for _, sh := range held {
 		for _, e := range pc.candidates(sh.dict, scr.lk, uint64(sh.idx)) {
-			// TimeStamp constraint: result returned iff ts(probe) > ts(match);
-			// LastMatchTimeStamp guards repeated probes (§3.5).
-			if e.TS >= probeTS || e.TS <= lastMatch {
+			catTS := e.TS
+			if s.shared != nil {
+				// Attached probe: every shared entry was sealed before the
+				// query started, so the probe's exact window is the whole
+				// state (TS ≤ HighWater) — the resident TimeStamp rule would
+				// compare incomparable counters. Component timestamp 0 keeps
+				// shared timestamps out of the query's tuples.
+				catTS = 0
+			} else if e.TS >= probeTS || e.TS <= lastMatch {
+				// TimeStamp constraint: result returned iff ts(probe) > ts(match);
+				// LastMatchTimeStamp guards repeated probes (§3.5).
 				continue
 			}
 			// Concatenate the stored row directly (no singleton
 			// materialization), recycling the component slices of failed
 			// concatenations.
-			cat := t.ConcatRowInto(scr.catScratch, s.cfg.Table, e.Row, e.TS)
+			cat := t.ConcatRowInto(scr.catScratch, s.cfg.Table, e.Row, catTS)
 			if !s.verify(cat) {
 				scr.catScratch = cat
 				continue
@@ -925,6 +978,11 @@ func (s *SteM) probeLocked(t *tuple.Tuple, pc *probeCache, scr *probeScratch, st
 			scr.catScratch = nil
 			stats.Matches++
 			out = append(out, flow.Emit(cat))
+		}
+	}
+	if s.shared != nil && s.shared.hasSpill() && t.EOT == nil {
+		for _, sh := range held {
+			out = s.probeSharedSpill(sh.idx, t, scr, stats, out)
 		}
 	}
 
@@ -1011,6 +1069,9 @@ func (s *SteM) shouldBounce(t *tuple.Tuple, scr *probeScratch) bool {
 // t: a scan EOT has arrived, or an index EOT covering t's bind values is
 // stored (the "cache on index lookups" role of Section 3.3).
 func (s *SteM) complete(t *tuple.Tuple, scr *probeScratch) bool {
+	if s.shared != nil {
+		return true // sealed shared state subsumes a full scan EOT
+	}
 	if s.cfg.Window > 0 {
 		return false
 	}

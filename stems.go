@@ -169,6 +169,16 @@ type Options struct {
 	// MemoryBudgetBytes is set; empty defaults to os.TempDir(). Each run
 	// confines its segments to a fresh subdirectory via an os.Root.
 	SpillDir string
+	// Shared attaches pre-built shared SteM state by table name (see
+	// Query.BuildSharedState): the named tables get probe-only attached
+	// SteMs over the sealed shared dictionaries instead of private builds,
+	// and their access methods are not run — the state already holds every
+	// row. Results are multiset-identical to a run without attachments. At
+	// least one table must stay unattached (its scan drives the dataflow),
+	// and any number of concurrent Runs may attach the same state. Shared
+	// tables ignore Shards (the state's shard count wins) and cannot be
+	// windowed, governed, or given custom dictionaries.
+	Shared map[string]*SharedState
 	// Deadline stops the simulation engine at the given virtual time
 	// (for continuous queries); zero runs to completion.
 	Deadline time.Duration
@@ -482,6 +492,57 @@ func (q *Query) Build() (*query.Q, error) {
 	return query.New(q.tables, q.preds, q.ams)
 }
 
+// SharedState is catalog-style shared SteM state over one table's rows:
+// sealed, immutable dictionaries (plus spill segments beyond a byte budget)
+// built once with Query.BuildSharedState and attached by any number of
+// concurrent Runs via Options.Shared. Close releases its spill files; it
+// must not be called while a Run is attached.
+type SharedState struct {
+	inner *stem.SharedState
+	table string
+}
+
+// Rows returns the number of distinct rows the state stores.
+func (s *SharedState) Rows() int { return s.inner.Rows() }
+
+// SpilledRows returns how many of them live in sealed spill segments.
+func (s *SharedState) SpilledRows() int { return s.inner.SpilledRows() }
+
+// Close releases the state's spill segments. Idempotent.
+func (s *SharedState) Close() error { return s.inner.Close() }
+
+// BuildSharedState builds sealed shared SteM state over the named table's
+// rows, indexed on the table's join columns in this query — what a server
+// catalog does once per (table, join columns) so concurrent queries attach
+// instead of rebuilding. shards partitions the state (rounded up to a power
+// of two; attached SteMs adopt it); budgetBytes bounds the resident
+// footprint with the excess written to spill segments under spillDir (0
+// keeps everything resident).
+func (q *Query) BuildSharedState(table string, shards int, budgetBytes int64, spillDir string) (*SharedState, error) {
+	iq, err := q.Build()
+	if err != nil {
+		return nil, err
+	}
+	ti, ok := q.order[table]
+	if !ok {
+		return nil, fmt.Errorf("stems: BuildSharedState table %q unknown", table)
+	}
+	cols := stem.JoinCols(iq, ti)
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("stems: table %q has no join columns to index shared state on", table)
+	}
+	inner, err := stem.BuildShared(stem.SharedConfig{
+		KeyCols:     cols,
+		Shards:      shards,
+		BudgetBytes: budgetBytes,
+		SpillDir:    spillDir,
+	}, q.data[table].Rows)
+	if err != nil {
+		return nil, err
+	}
+	return &SharedState{inner: inner, table: table}, nil
+}
+
 // RunContext executes the query under a cancellation context: when ctx is
 // canceled the engine stops routing and RunContext returns the results
 // produced so far plus an error wrapping ctx.Err(). It is Run with
@@ -557,6 +618,20 @@ func (q *Query) Run(opts Options) (*Result, error) {
 		}
 		ropts.WindowFor = func(t int) int { return wins[t] }
 	}
+	if len(opts.Shared) > 0 {
+		states := make([]*stem.SharedState, len(q.tables))
+		for name, ss := range opts.Shared {
+			ti, ok := q.order[name]
+			if !ok {
+				return nil, fmt.Errorf("stems: Shared table %q unknown", name)
+			}
+			if ss == nil || ss.inner == nil {
+				return nil, fmt.Errorf("stems: Shared state for %q is nil", name)
+			}
+			states[ti] = ss.inner
+		}
+		ropts.SharedFor = func(t int) *stem.SharedState { return states[t] }
+	}
 	r, err := eddy.NewRouter(iq, ropts)
 	if err != nil {
 		return nil, err
@@ -615,6 +690,11 @@ func (q *Query) Run(opts Options) (*Result, error) {
 	if spillGov != nil {
 		if serr := spillGov.Err(); serr != nil {
 			return nil, fmt.Errorf("stems: spill I/O failed (results fell back to resident storage): %w", serr)
+		}
+	}
+	for name, ss := range opts.Shared {
+		if serr := ss.inner.Err(); serr != nil {
+			return nil, fmt.Errorf("stems: shared state for %q failed a spill read (results may be incomplete): %w", name, serr)
 		}
 	}
 	if n := r.Stuck(); n > 0 {
