@@ -29,9 +29,19 @@
 //
 // Admission control bounds concurrent queries (-max-inflight) and the wait
 // queue (-queue); per-query deadlines default to -deadline and are capped
-// at -max-deadline. /healthz reports liveness, /metrics exposes
-// Prometheus-style counters, and -pprof additionally serves the Go
-// profiling endpoints under /debug/pprof/ (off by default).
+// at -max-deadline.
+//
+// Observability: /healthz reports liveness (always 200 while the process
+// serves), /readyz readiness (503 with {"draining":true} once shutdown
+// begins), /metrics exposes Prometheus-style counters and latency
+// histograms, and GET /queries serves the completed-queries ring
+// (?min_ms=N filters to slow queries; -completed-queries sizes it,
+// -slow-query-ms also logs them). POST /query with "explain": true streams
+// results then a final NDJSON trace record with per-module stats and the
+// routing policy's learned state. Structured logs go to stderr (-log-level,
+// -log-json); -pprof additionally serves the Go profiling endpoints under
+// /debug/pprof/ (off by default), and -pprof-labels tags each query's
+// goroutines with its query ID so CPU profiles attribute to queries.
 // SIGINT/SIGTERM drains: in-flight queries get
 // -drain to finish, stragglers are canceled (cancellation stops the eddy's
 // routing, it does not abandon goroutines), and the process exits 0.
@@ -43,10 +53,12 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime/debug"
 	"strings"
 	"syscall"
 	"time"
@@ -59,6 +71,49 @@ type repeatable []string
 
 func (r *repeatable) String() string     { return strings.Join(*r, ",") }
 func (r *repeatable) Set(v string) error { *r = append(*r, v); return nil }
+
+// version feeds the stemsd_build_info metric: the module version when built
+// with version info (go install m@v), else the VCS revision, else "dev".
+var version = func() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "dev"
+	}
+	if v := bi.Main.Version; v != "" && v != "(devel)" {
+		return v
+	}
+	for _, s := range bi.Settings {
+		if s.Key == "vcs.revision" && len(s.Value) >= 12 {
+			return s.Value[:12]
+		}
+	}
+	return "dev"
+}()
+
+// buildLogger constructs the server's structured logger; level "off"
+// returns nil, which disables per-query logging entirely.
+func buildLogger(level string, asJSON bool) (*slog.Logger, error) {
+	var lv slog.Level
+	switch strings.ToLower(level) {
+	case "off", "none":
+		return nil, nil
+	case "debug":
+		lv = slog.LevelDebug
+	case "", "info":
+		lv = slog.LevelInfo
+	case "warn", "warning":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown -log-level %q (want debug, info, warn, error, or off)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	if asJSON {
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+}
 
 func main() {
 	var tables, indexes repeatable
@@ -85,7 +140,18 @@ func main() {
 	sharedStemBytes := flag.Int64("shared-stem-bytes", 0, "cap on the total footprint of shared SteM state; least-recently-attached idle states are evicted past it (0 = unlimited)")
 	sharedStemSpill := flag.Int64("shared-stem-spill", 0, "per-table resident budget for shared SteM builds; rows beyond it live in sealed spill segments under -spill-dir and are read at probe time (0 = fully resident)")
 	pprofOn := flag.Bool("pprof", false, "expose Go pprof profiling endpoints under /debug/pprof/ (opt-in; profiles reveal query shapes, so leave off on untrusted networks)")
+	pprofLabels := flag.Bool("pprof-labels", false, "label each query's goroutines with its query ID so CPU profiles attribute samples to queries (costs a small allocation per query)")
+	slowQueryMS := flag.Int64("slow-query-ms", 0, "log queries whose execution time reaches this many milliseconds at warn level (0 disables)")
+	completedCap := flag.Int("completed-queries", 0, "capacity of the completed-queries ring served by GET /queries (0 uses the default of 256; negative disables)")
+	logLevel := flag.String("log-level", "info", "minimum structured-log level: debug, info, warn, error, or off")
+	logJSON := flag.Bool("log-json", false, "emit structured logs as JSON instead of logfmt-style text")
 	flag.Parse()
+
+	logger, err := buildLogger(*logLevel, *logJSON)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "stemsd: %v\n", err)
+		os.Exit(1)
+	}
 
 	cat := server.NewCatalog(*scanInterval, *dataDir)
 	if err := cat.LoadFlagSpecs(tables, indexes); err != nil {
@@ -111,6 +177,12 @@ func main() {
 		SharedStems:          *sharedStems,
 		SharedStemBytes:      *sharedStemBytes,
 		SharedStemSpillBytes: *sharedStemSpill,
+
+		Logger:       logger,
+		PprofLabels:  *pprofLabels,
+		SlowQuery:    time.Duration(*slowQueryMS) * time.Millisecond,
+		CompletedCap: *completedCap,
+		Version:      version,
 	})
 
 	handler := srv.Handler()

@@ -80,15 +80,15 @@ func main() {
 
 	if *serverURL != "" {
 		cli := &remoteClient{base: strings.TrimRight(*serverURL, "/")}
-		runOne := func(stmt string) bool {
-			if err := cli.run(stmt); err != nil {
+		runOne := func(stmt string, doExplain bool) bool {
+			if err := cli.run(stmt, *explain || doExplain); err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				return false
 			}
 			return true
 		}
 		if *q != "" {
-			if !runOne(strings.TrimSuffix(strings.TrimSpace(*q), ";")) {
+			if !runOne(strings.TrimSuffix(strings.TrimSpace(*q), ";"), false) {
 				os.Exit(1)
 			}
 			return
@@ -103,8 +103,8 @@ func main() {
 		os.Exit(1)
 	}
 	prepped := map[string]*sql.Stmt{}
-	runOne := func(stmt string) bool {
-		if err := run(stmt, cat, prepped, *policyName, *engineName, *batch, *shards, *rowBatches, *seed, *timing, *explain, *memBudget, *spillDir); err != nil {
+	runOne := func(stmt string, doExplain bool) bool {
+		if err := run(stmt, cat, prepped, *policyName, *engineName, *batch, *shards, *rowBatches, *seed, *timing, *explain || doExplain, *memBudget, *spillDir); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return false
 		}
@@ -127,7 +127,7 @@ func main() {
 	}
 
 	if *q != "" {
-		if !runOne(strings.TrimSuffix(strings.TrimSpace(*q), ";")) {
+		if !runOne(strings.TrimSuffix(strings.TrimSpace(*q), ";"), false) {
 			os.Exit(1)
 		}
 		return
@@ -141,11 +141,16 @@ func main() {
 // instead of quitting, and a statement still buffered at EOF runs without
 // its terminator — piped single statements work with or without ';'.
 // A lone \plans (no terminator) invokes the plans hook: the server's plan
-// cache when connected, the local prepared statements otherwise.
-func repl(in *os.File, runOne func(string) bool, plans func() bool) {
+// cache when connected, the local prepared statements otherwise. A lone
+// \explain reruns the last statement with the per-module trace enabled
+// (locally or, when connected, as an "explain": true server query); before
+// any statement has run, it arms the trace for the next one.
+func repl(in *os.File, runOne func(stmt string, explain bool) bool, plans func() bool) {
 	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
 	var buf strings.Builder
+	var lastStmt string
+	armExplain := false
 	prompt := func() {
 		if buf.Len() == 0 {
 			fmt.Print("stemsql> ")
@@ -164,6 +169,16 @@ func repl(in *os.File, runOne func(string) bool, plans func() bool) {
 			prompt()
 			continue
 		}
+		if buf.Len() == 0 && line == `\explain` {
+			if lastStmt == "" {
+				armExplain = true
+				fmt.Println("-- no previous statement; explain armed for the next one")
+			} else {
+				runOne(lastStmt, true)
+			}
+			prompt()
+			continue
+		}
 		if line != "" {
 			if buf.Len() > 0 {
 				buf.WriteByte('\n')
@@ -175,7 +190,9 @@ func repl(in *os.File, runOne func(string) bool, plans func() bool) {
 		buf.WriteString(rest)
 		for _, stmt := range complete {
 			if stmt = strings.TrimSpace(stmt); stmt != "" {
-				runOne(stmt)
+				runOne(stmt, armExplain)
+				armExplain = false
+				lastStmt = stmt
 			}
 		}
 		prompt()
@@ -186,7 +203,7 @@ func repl(in *os.File, runOne func(string) bool, plans func() bool) {
 		return
 	}
 	if stmt := strings.TrimSpace(buf.String()); stmt != "" {
-		runOne(stmt)
+		runOne(stmt, armExplain)
 	}
 }
 
@@ -284,12 +301,13 @@ func run(stmtSrc string, cat *server.Catalog, prepped map[string]*sql.Stmt, poli
 		outs, err = sim.Run()
 		simEvents = sim.Events()
 	case "concurrent":
-		if explain {
-			return fmt.Errorf("stemsql: -explain requires -engine sim")
-		}
 		eng := eddy.NewConcurrent(r, nil)
 		eng.BatchSize = batch
 		eng.Columnar = !rowBatches
+		if explain {
+			collector = trace.NewCollector(r.Modules())
+			collector.AttachConcurrent(eng)
+		}
 		outs, err = eng.Run()
 	default:
 		return fmt.Errorf("stemsql: unknown engine %q (want sim or concurrent)", engineName)
@@ -364,8 +382,8 @@ type remoteClient struct {
 	http http.Client
 }
 
-func (c *remoteClient) run(stmt string) error {
-	body, err := json.Marshal(map[string]string{"sql": stmt})
+func (c *remoteClient) run(stmt string, explain bool) error {
+	body, err := json.Marshal(map[string]any{"sql": stmt, "explain": explain})
 	if err != nil {
 		return fmt.Errorf("stemsql: %v", err)
 	}
@@ -378,6 +396,7 @@ func (c *remoteClient) run(stmt string) error {
 	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
 	w := bufio.NewWriter(os.Stdout)
 	defer w.Flush()
+	sawPayload := false
 	for sc.Scan() {
 		line := sc.Bytes()
 		if len(bytes.TrimSpace(line)) == 0 {
@@ -387,6 +406,7 @@ func (c *remoteClient) run(stmt string) error {
 		if err := json.Unmarshal(line, &obj); err != nil {
 			return fmt.Errorf("stemsql: malformed response line %q: %v", line, err)
 		}
+		sawPayload = true
 		switch {
 		case obj["error"] != nil:
 			w.Flush()
@@ -403,6 +423,10 @@ func (c *remoteClient) run(stmt string) error {
 		case obj["done"] == true:
 			fmt.Fprintf(w, "-- %v rows; %v routing steps; %v ms\n",
 				obj["rows"], obj["routing_steps"], obj["elapsed_ms"])
+		case obj["trace"] != nil:
+			if err := printServerTrace(w, obj["trace"]); err != nil {
+				return err
+			}
 		case obj["prepared"] != nil:
 			fmt.Fprintf(w, "-- prepared %v\n", obj["prepared"])
 		case obj["registered"] != nil:
@@ -413,7 +437,49 @@ func (c *remoteClient) run(stmt string) error {
 			w.WriteByte('\n')
 		}
 	}
-	return sc.Err()
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("stemsql: reading response: %v", err)
+	}
+	// A non-200 with no in-band error line (proxy page, panic, empty body)
+	// would otherwise vanish; say what the server actually returned.
+	if resp.StatusCode != http.StatusOK {
+		detail := ""
+		if !sawPayload {
+			detail = " with no parseable error"
+		}
+		return fmt.Errorf("stemsql: server returned HTTP %d%s", resp.StatusCode, detail)
+	}
+	return nil
+}
+
+// printServerTrace pretty-prints the final NDJSON trace record of an
+// "explain": true server query: a per-module table mirroring
+// trace.Collector.Report plus the routing policy's learned per-signature
+// estimates when the server included them.
+func printServerTrace(w *bufio.Writer, raw any) error {
+	b, err := json.Marshal(raw)
+	if err != nil {
+		return fmt.Errorf("stemsql: %v", err)
+	}
+	var rec trace.Record
+	if err := json.Unmarshal(b, &rec); err != nil {
+		return fmt.Errorf("stemsql: decoding trace: %v", err)
+	}
+	fmt.Fprintf(w, "\n-- explain: %d results, last output at %.6fs\n", rec.Results, rec.LastOutputS)
+	fmt.Fprintf(w, "%-24s %10s %10s %12s %12s\n", "module", "visits", "outputs", "selectivity", "busy(s)")
+	for _, m := range rec.Modules {
+		fmt.Fprintf(w, "%-24s %10d %10d %12.4f %12.6f\n",
+			m.Name, m.Visits, m.Outputs, m.Selectivity, m.BusySeconds)
+	}
+	if len(rec.Policy) > 0 {
+		fmt.Fprintf(w, "-- policy state (learned per-signature estimates):\n")
+		fmt.Fprintf(w, "%-24s %18s %10s %14s %12s\n", "module", "sig", "visits", "out/visit", "cost(s)")
+		for _, p := range rec.Policy {
+			fmt.Fprintf(w, "%-24s %18x %10d %14.4f %12.6f\n",
+				p.Module, p.Sig, p.Visits, p.OutPerVisit, p.CostSeconds)
+		}
+	}
+	return nil
 }
 
 // plans fetches GET /plans and prints the server's named prepared

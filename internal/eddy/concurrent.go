@@ -208,6 +208,12 @@ type Concurrent struct {
 	Columnar bool
 	// OnOutput is called (on the eddy goroutine) for each result.
 	OnOutput func(t *tuple.Tuple, at clock.Time)
+	// OnService is called (on the eddy goroutine) with every service
+	// completion the routing policy observes — row and columnar batches both
+	// funnel through here — so a trace collector sees exactly the feedback
+	// stream the policy learns from. Pure wake-up events (Emitted < 0) are
+	// not reported. Set before Run; Reset clears it.
+	OnService func(fb policy.Feedback)
 	// WallTimeout aborts the run after this much wall time; 0 disables. The
 	// run returns the results produced so far plus an error.
 	WallTimeout time.Duration
@@ -356,6 +362,7 @@ func (c *Concurrent) Reset() {
 	c.colOn = false
 	c.colRouter = nil
 	c.OnOutput = nil
+	c.OnService = nil
 	c.outputs = nil
 	c.err = nil
 	c.errSet.Store(false)
@@ -545,6 +552,9 @@ func (c *Concurrent) RunContext(ctx context.Context) ([]Output, error) {
 			if ev.fb != nil {
 				if ev.fb.Emitted >= 0 {
 					c.r.Policy().Observe(*ev.fb)
+					if c.OnService != nil {
+						c.OnService(*ev.fb)
+					}
 				}
 				fbPool.Put(ev.fb)
 			} else if ev.deliverT != nil {

@@ -139,6 +139,10 @@ func (p *BenefitCost) Observe(fb Feedback) {
 	}
 }
 
+// Snapshot implements Introspector, exposing the learned per-(module, sig)
+// benefit/cost estimates.
+func (p *BenefitCost) Snapshot() []ModuleState { return p.stats.snapshot() }
+
 func maxf(a, b float64) float64 {
 	if a > b {
 		return a

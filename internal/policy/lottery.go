@@ -99,3 +99,6 @@ func clamp01(v float64) float64 {
 
 // Observe implements Policy.
 func (l *Lottery) Observe(fb Feedback) { l.stats.observe(fb) }
+
+// Snapshot implements Introspector, exposing the learned ticket estimates.
+func (l *Lottery) Snapshot() []ModuleState { return l.stats.snapshot() }

@@ -2,6 +2,8 @@ package server
 
 import (
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"runtime"
@@ -130,35 +132,56 @@ func BenchmarkServerSharedStems(b *testing.B) {
 // the join is PREPAREd once and every op is an EXECUTE, so the hot path
 // skips parsing the SELECT text, re-binding, and engine construction,
 // running instead on pooled router+engine shells from the plan cache.
+// The committed alloc budget applies to the default configuration; the
+// observability sub-benchmark turns everything on — structured logs (to a
+// discard writer), pprof query labels, and per-request explain traces — so
+// BENCH_server.json can record what full instrumentation costs.
 func BenchmarkServerConcurrentSessionsPrepared(b *testing.B) {
-	cat := memCatalog(b, time.Microsecond)
-	srv := New(cat, Config{MaxInFlight: runtime.GOMAXPROCS(0) * 2, QueueDepth: 1024})
-	ts := httptest.NewServer(srv.Handler())
-	defer ts.Close()
-	client := ts.Client()
-	client.Transport.(*http.Transport).MaxIdleConnsPerHost = 256
-	defer client.CloseIdleConnections()
+	runPrepared := func(b *testing.B, cfg Config, explain bool) {
+		cat := memCatalog(b, time.Microsecond)
+		cfg.MaxInFlight = runtime.GOMAXPROCS(0) * 2
+		cfg.QueueDepth = 1024
+		srv := New(cat, cfg)
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+		client := ts.Client()
+		client.Transport.(*http.Transport).MaxIdleConnsPerHost = 256
+		defer client.CloseIdleConnections()
 
-	if res := postQuery(b, client, ts.URL, map[string]any{"sql": "PREPARE hot AS " + threeWayJoin}); res.status != http.StatusOK {
-		b.Fatalf("PREPARE: status=%d err=%q", res.status, res.errLine)
-	}
-
-	var sid atomic.Int64
-	b.ReportAllocs()
-	b.ResetTimer()
-	b.RunParallel(func(pb *testing.PB) {
-		session := fmt.Sprintf("bench-%d", sid.Add(1))
-		for pb.Next() {
-			res := postQuery(b, client, ts.URL, map[string]any{
-				"sql":     "EXECUTE hot",
-				"session": session,
-			})
-			if res.status != http.StatusOK || len(res.rows) != 5 {
-				b.Errorf("status=%d rows=%d err=%q", res.status, len(res.rows), res.errLine)
-				return
-			}
+		if res := postQuery(b, client, ts.URL, map[string]any{"sql": "PREPARE hot AS " + threeWayJoin}); res.status != http.StatusOK {
+			b.Fatalf("PREPARE: status=%d err=%q", res.status, res.errLine)
 		}
+
+		var sid atomic.Int64
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			session := fmt.Sprintf("bench-%d", sid.Add(1))
+			for pb.Next() {
+				res := postQuery(b, client, ts.URL, map[string]any{
+					"sql":     "EXECUTE hot",
+					"session": session,
+					"explain": explain,
+				})
+				if res.status != http.StatusOK || len(res.rows) != 5 {
+					b.Errorf("status=%d rows=%d err=%q", res.status, len(res.rows), res.errLine)
+					return
+				}
+				if explain && res.trace == nil {
+					b.Error("explain run returned no trace line")
+					return
+				}
+			}
+		})
+		b.StopTimer()
+		srv.Shutdown(time.Second)
+	}
+	b.Run("base", func(b *testing.B) { runPrepared(b, Config{}, false) })
+	b.Run("observability", func(b *testing.B) {
+		runPrepared(b, Config{
+			Logger:      slog.New(slog.NewJSONHandler(io.Discard, nil)),
+			PprofLabels: true,
+			SlowQuery:   time.Second,
+		}, true)
 	})
-	b.StopTimer()
-	srv.Shutdown(time.Second)
 }

@@ -11,8 +11,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
+	"runtime/pprof"
 	"strconv"
 	"time"
 
@@ -21,17 +23,26 @@ import (
 	"repro/internal/policy"
 	"repro/internal/sql"
 	"repro/internal/stem"
+	"repro/internal/trace"
 	"repro/internal/tuple"
 	"repro/internal/value"
 )
 
-// execStats summarizes one query's execution for the trailer and metrics.
+// execStats summarizes one query's execution for the trailer, metrics, and
+// the completed-queries ring.
 type execStats struct {
-	Rows    int
-	Routed  uint64
-	Builds  uint64
-	Probes  uint64
-	Elapsed time.Duration
+	Rows      int
+	Routed    uint64
+	Builds    uint64
+	Probes    uint64
+	Elapsed   time.Duration
+	QueueWait time.Duration
+	CacheHit  bool
+	Shared    bool
+	Spilled   bool
+	// Trace carries the run's collector snapshot; the policy state is
+	// included only when the request asked for an explain.
+	Trace trace.Record
 }
 
 // userError marks failures caused by the request (parse, bind, bad knobs),
@@ -204,8 +215,8 @@ func (s *Server) runQuery(w http.ResponseWriter, r *http.Request, req QueryReque
 		fmt.Errorf("query deadline %v exceeded", deadline))
 	defer cancelT()
 
+	qid := s.qid.Add(1)
 	if req.Session != "" {
-		qid := s.qid.Add(1)
 		ss := s.attachQuery(req.Session, qid, cancel)
 		if ss == nil {
 			writeJSONError(w, http.StatusConflict, fmt.Errorf("session %q is closed", req.Session))
@@ -214,8 +225,13 @@ func (s *Server) runQuery(w http.ResponseWriter, r *http.Request, req QueryReque
 		defer s.detachQuery(ss, qid)
 	}
 
+	admitStart := time.Now()
 	if err := s.admit(qctx); err != nil {
 		s.met.reject()
+		if lg := s.cfg.Logger; lg != nil {
+			lg.Warn("query rejected", slog.Uint64("query_id", qid),
+				slog.String("error", err.Error()), slog.String("sql", canon))
+		}
 		code := http.StatusTooManyRequests
 		if !errors.Is(err, errBusy) {
 			code = http.StatusServiceUnavailable // canceled while queued
@@ -227,6 +243,13 @@ func (s *Server) runQuery(w http.ResponseWriter, r *http.Request, req QueryReque
 		return
 	}
 	defer s.release()
+	queueWait := time.Since(admitStart)
+	startWall := time.Now()
+	if lg := s.cfg.Logger; lg != nil {
+		lg.Debug("query admitted", slog.Uint64("query_id", qid),
+			slog.Float64("queue_ms", float64(queueWait)/float64(time.Millisecond)),
+			slog.String("session", req.Session), slog.String("sql", canon))
+	}
 
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	enc := json.NewEncoder(w)
@@ -245,7 +268,18 @@ func (s *Server) runQuery(w http.ResponseWriter, r *http.Request, req QueryReque
 		return nil
 	}
 
-	stats, err := s.execute(qctx, req, st, canon, sink)
+	var stats execStats
+	var err error
+	if s.cfg.PprofLabels {
+		// pprof labels are inherited by every goroutine the engine spawns,
+		// so CPU profile samples attribute to the query that burned them.
+		pprof.Do(qctx, pprof.Labels("query_id", strconv.FormatUint(qid, 10)), func(ctx context.Context) {
+			stats, err = s.execute(ctx, req, st, canon, sink)
+		})
+	} else {
+		stats, err = s.execute(qctx, req, st, canon, sink)
+	}
+	stats.QueueWait = queueWait
 	if err != nil {
 		cause := err
 		qs := statusError
@@ -255,7 +289,7 @@ func (s *Server) runQuery(w http.ResponseWriter, r *http.Request, req QueryReque
 				cause = c
 			}
 		}
-		s.met.finishQuery(qs, stats.Rows, stats.Elapsed, stats.Routed, stats.Builds, stats.Probes)
+		s.finishObserved(qid, req, canon, qs, cause, &stats, startWall)
 		if started {
 			// Mid-stream: the status line is long gone; report in-band.
 			enc.Encode(map[string]string{"error": cause.Error()})
@@ -273,9 +307,63 @@ func (s *Server) runQuery(w http.ResponseWriter, r *http.Request, req QueryReque
 		writeJSONError(w, code, cause)
 		return
 	}
-	s.met.finishQuery(statusOK, stats.Rows, stats.Elapsed, stats.Routed, stats.Builds, stats.Probes)
-	fmt.Fprintf(w, `{"done":true,"rows":%d,"elapsed_ms":%g,"routing_steps":%d,"stem_builds":%d,"index_probes":%d}`+"\n",
-		stats.Rows, float64(stats.Elapsed)/float64(time.Millisecond), stats.Routed, stats.Builds, stats.Probes)
+	s.finishObserved(qid, req, canon, statusOK, nil, &stats, startWall)
+	fmt.Fprintf(w, `{"done":true,"id":%d,"rows":%d,"elapsed_ms":%g,"queue_ms":%g,"routing_steps":%d,"stem_builds":%d,"index_probes":%d}`+"\n",
+		qid, stats.Rows, float64(stats.Elapsed)/float64(time.Millisecond),
+		float64(queueWait)/float64(time.Millisecond), stats.Routed, stats.Builds, stats.Probes)
+	if req.Explain {
+		enc.Encode(map[string]any{"trace": stats.Trace})
+	}
+	if flusher != nil {
+		flusher.Flush()
+	}
+}
+
+// finishObserved folds one finished execution into the metrics, the
+// completed-queries ring, and the structured log. It is called exactly once
+// per execution, success or failure.
+func (s *Server) finishObserved(qid uint64, req QueryRequest, canon string, qs queryStatus, cause error, stats *execStats, startWall time.Time) {
+	s.met.finishQuery(qs, stats.Rows, stats.Elapsed, stats.QueueWait, stats.Routed, stats.Builds, stats.Probes)
+	lg := s.cfg.Logger
+	if s.completed == nil && lg == nil {
+		return
+	}
+	engine := req.Engine
+	if engine == "" {
+		engine = "concurrent"
+	}
+	polName := req.Policy
+	if polName == "" {
+		polName = s.cfg.Policy
+	}
+	rec := queryRecord{
+		ID:           qid,
+		Session:      req.Session,
+		SQL:          canon,
+		Engine:       engine,
+		Policy:       polName,
+		Status:       string(qs),
+		Rows:         stats.Rows,
+		QueueMS:      float64(stats.QueueWait) / float64(time.Millisecond),
+		ElapsedMS:    float64(stats.Elapsed) / float64(time.Millisecond),
+		RoutingSteps: stats.Routed,
+		StemBuilds:   stats.Builds,
+		IndexProbes:  stats.Probes,
+		PlanCacheHit: stats.CacheHit,
+		SharedStems:  stats.Shared,
+		Spilled:      stats.Spilled,
+		Start:        startWall,
+		Modules:      stats.Trace.Modules,
+	}
+	if cause != nil {
+		rec.Error = cause.Error()
+	}
+	if s.completed != nil {
+		s.completed.add(rec)
+	}
+	if lg != nil {
+		logFinished(lg, &rec, s.cfg.SlowQuery)
+	}
 }
 
 // beginQuery registers the query with the drain barrier; it reports false
@@ -369,6 +457,7 @@ func (s *Server) execute(ctx context.Context, req QueryRequest, st *sql.Stmt, ca
 		defer shared.release()
 		if shared != nil {
 			ropts.SharedFor = shared.sharedFor
+			stats.Shared = true
 		}
 	}
 	var gov *stem.Governor
@@ -409,6 +498,10 @@ func (s *Server) execute(ctx context.Context, req QueryRequest, st *sql.Stmt, ca
 		stats.Rows++
 	}
 
+	// The collector rides every execution (GET /queries records carry
+	// module stats); the policy's learned state is snapshotted into the
+	// trace only when the request asked for an explain.
+	coll := trace.NewCollector(r.Modules())
 	var outs []eddy.Output
 	var runErr error
 	switch req.Engine {
@@ -419,6 +512,7 @@ func (s *Server) execute(ctx context.Context, req QueryRequest, st *sql.Stmt, ca
 		if streaming {
 			eng.OnOutput = func(t *tuple.Tuple, at clock.Time) { emit(t) }
 		}
+		coll.AttachConcurrent(eng)
 		outs, runErr = eng.RunContext(ctx)
 	case "sim":
 		sim := eddy.NewSim(r)
@@ -426,6 +520,7 @@ func (s *Server) execute(ctx context.Context, req QueryRequest, st *sql.Stmt, ca
 		if streaming {
 			sim.OnOutput = func(t *tuple.Tuple, at clock.Time) { emit(t) }
 		}
+		coll.Attach(sim)
 		outs, runErr = sim.Run()
 	default:
 		return stats, userError{fmt.Errorf("unknown engine %q (want concurrent or sim)", req.Engine)}
@@ -439,6 +534,11 @@ func (s *Server) execute(ctx context.Context, req QueryRequest, st *sql.Stmt, ca
 		stats.Builds += sm.Stats().Builds
 	}
 	stats.Elapsed = time.Since(start)
+	var tracePol policy.Policy
+	if req.Explain {
+		tracePol = pol
+	}
+	stats.Trace = coll.Record(tracePol)
 	if runErr != nil {
 		return stats, runErr
 	}
@@ -446,6 +546,8 @@ func (s *Server) execute(ctx context.Context, req QueryRequest, st *sql.Stmt, ca
 		if serr := gov.Err(); serr != nil {
 			return stats, fmt.Errorf("spill I/O failed (results fell back to resident storage): %w", serr)
 		}
+		_, sp := gov.BytesStats()
+		stats.Spilled = sp > 0
 	}
 	if sinkErr != nil {
 		return stats, sinkErr
@@ -522,13 +624,24 @@ func (s *Server) executeCached(ctx context.Context, req QueryRequest, st *sql.St
 		if err != nil {
 			return stats, userError{err}
 		}
-		shell = &engineShell{r: r, eng: eddy.NewConcurrent(r, clock.NewReal(s.cfg.TimeCompression)), shared: shared.statesOrNil()}
+		shell = &engineShell{
+			r:      r,
+			eng:    eddy.NewConcurrent(r, clock.NewReal(s.cfg.TimeCompression)),
+			coll:   trace.NewCollector(r.Modules()),
+			shared: shared.statesOrNil(),
+		}
 	} else {
+		// The Reset sequence restores a pristine shell; the collector joins
+		// it so a pooled execution can never report a predecessor's stats
+		// (eng.Reset also cleared the hooks that fed it).
 		shell.r.Reset(nil)
 		shell.eng.Reset()
 		shell.eng.SetClock(clock.NewReal(s.cfg.TimeCompression))
+		shell.coll.Reset()
 	}
 	r, eng := shell.r, shell.eng
+	stats.CacheHit = hit
+	stats.Shared = shared != nil
 
 	// Only cleanly completed shells go back in the pool; a canceled or
 	// failed run may leave batches stranded mid-flight, and while Reset
@@ -539,6 +652,7 @@ func (s *Server) executeCached(ctx context.Context, req QueryRequest, st *sql.St
 	defer func() {
 		if clean {
 			eng.OnOutput = nil
+			eng.OnService = nil
 			entry.putShell(shell)
 		}
 	}()
@@ -565,6 +679,7 @@ func (s *Server) executeCached(ctx context.Context, req QueryRequest, st *sql.St
 	if streaming {
 		eng.OnOutput = func(t *tuple.Tuple, at clock.Time) { emit(t) }
 	}
+	shell.coll.AttachConcurrent(eng)
 	outs, runErr := eng.RunContext(ctx)
 
 	stats.Routed = r.Routed()
@@ -575,6 +690,11 @@ func (s *Server) executeCached(ctx context.Context, req QueryRequest, st *sql.St
 		stats.Builds += sm.Stats().Builds
 	}
 	stats.Elapsed = time.Since(start)
+	var tracePol policy.Policy
+	if req.Explain {
+		tracePol = r.Policy()
+	}
+	stats.Trace = shell.coll.Record(tracePol)
 	stuck := r.Stuck()
 	clean = runErr == nil && stuck == 0
 	if runErr != nil {

@@ -1,0 +1,67 @@
+// hist.go is an O(1) log-bucketed histogram for the metrics endpoint. The
+// serving layer must never accumulate per-query history (metrics.go's rule),
+// so latency distributions are held as fixed exponential buckets — observe
+// is a bucket index bump, memory is a few dozen words per family, and the
+// render is the Prometheus histogram convention (cumulative _bucket series
+// ending in +Inf, plus _sum and _count).
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// histogram counts observations into fixed exponential buckets. It is not
+// internally synchronized — the owning metrics struct serializes access
+// under its mutex.
+type histogram struct {
+	// bounds are the buckets' inclusive upper bounds, strictly increasing;
+	// an implicit +Inf bucket follows the last.
+	bounds []float64
+	// counts holds one slot per bound plus the +Inf overflow slot.
+	counts []uint64
+	sum    float64
+	count  uint64
+}
+
+// expBuckets builds n strictly increasing bounds starting at start, each
+// factor times the previous — the log spacing that keeps wide dynamic ranges
+// (100µs queue waits to minutes-long scans) in O(n) memory.
+func expBuckets(start, factor float64, n int) []float64 {
+	b := make([]float64, n)
+	v := start
+	for i := range b {
+		b[i] = v
+		v *= factor
+	}
+	return b
+}
+
+func newHistogram(bounds []float64) *histogram {
+	return &histogram{bounds: bounds, counts: make([]uint64, len(bounds)+1)}
+}
+
+// observe records one value.
+func (h *histogram) observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i]++
+	h.sum += v
+	h.count++
+}
+
+// write renders the histogram as a Prometheus family: HELP/TYPE, cumulative
+// le-labeled buckets ending at +Inf, then _sum and _count.
+func (h *histogram) write(w io.Writer, name, help string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	cum := uint64(0)
+	for i, b := range h.bounds {
+		cum += h.counts[i]
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, strconv.FormatFloat(b, 'g', -1, 64), cum)
+	}
+	cum += h.counts[len(h.bounds)]
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(w, "%s_sum %g\n", name, h.sum)
+	fmt.Fprintf(w, "%s_count %d\n", name, h.count)
+}

@@ -11,6 +11,7 @@ package server
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sync"
 	"time"
 )
@@ -37,26 +38,40 @@ type metrics struct {
 	routingSteps uint64
 	stemBuilds   uint64
 	indexProbes  uint64
-	querySeconds float64
+	// The latency histograms replace the old sum-only
+	// stemsd_query_seconds_total: still O(1) state, but a scraper can now
+	// read the distribution (p50/p99) instead of just the mean. The
+	// histogram's _sum carries the old total.
+	durHist   *histogram // query execution seconds
+	queueHist *histogram // admission queue-wait seconds
+	rowsHist  *histogram // result rows per query
 }
 
 func newMetrics() *metrics {
 	return &metrics{
 		start:   time.Now(),
 		queries: make(map[queryStatus]uint64),
+		// 1ms·2ⁿ spans sub-millisecond cache hits to two-minute scans.
+		durHist: newHistogram(expBuckets(0.001, 2, 18)),
+		// 100µs·2ⁿ: queue waits start near zero and cap at the deadline.
+		queueHist: newHistogram(expBuckets(0.0001, 2, 16)),
+		// 1·4ⁿ rows: result cardinalities span single rows to millions.
+		rowsHist: newHistogram(expBuckets(1, 4, 12)),
 	}
 }
 
 // finishQuery folds one completed query into the totals.
-func (m *metrics) finishQuery(st queryStatus, rows int, elapsed time.Duration, routed, builds, probes uint64) {
+func (m *metrics) finishQuery(st queryStatus, rows int, elapsed, queueWait time.Duration, routed, builds, probes uint64) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.queries[st]++
 	m.rowsStreamed += uint64(rows)
-	m.querySeconds += elapsed.Seconds()
 	m.routingSteps += routed
 	m.stemBuilds += builds
 	m.indexProbes += probes
+	m.durHist.observe(elapsed.Seconds())
+	m.queueHist.observe(queueWait.Seconds())
+	m.rowsHist.observe(float64(rows))
 }
 
 func (m *metrics) reject() {
@@ -83,6 +98,8 @@ type gauges struct {
 	draining      bool
 	spillResident int64
 	spillSpilled  int64
+
+	version string
 
 	planEntries       int
 	planHits          uint64
@@ -119,8 +136,6 @@ func (m *metrics) write(w io.Writer, g gauges) {
 	fmt.Fprintf(w, "stemsd_registers_total %d\n", m.registers)
 	counter("stemsd_rows_streamed_total", "Result rows streamed to clients.")
 	fmt.Fprintf(w, "stemsd_rows_streamed_total %d\n", m.rowsStreamed)
-	counter("stemsd_query_seconds_total", "Wall-clock seconds spent executing queries.")
-	fmt.Fprintf(w, "stemsd_query_seconds_total %.6f\n", m.querySeconds)
 	counter("stemsd_routing_steps_total", "Eddy routing decisions across all queries.")
 	fmt.Fprintf(w, "stemsd_routing_steps_total %d\n", m.routingSteps)
 	counter("stemsd_stem_builds_total", "Rows materialized into SteMs across all queries.")
@@ -143,6 +158,10 @@ func (m *metrics) write(w io.Writer, g gauges) {
 	fmt.Fprintf(w, "stemsd_shared_stem_detaches_total %d\n", g.sharedDetached)
 	counter("stemsd_shared_stem_evictions_total", "Shared SteM states evicted by capacity pressure.")
 	fmt.Fprintf(w, "stemsd_shared_stem_evictions_total %d\n", g.sharedEvictions)
+
+	m.durHist.write(w, "stemsd_query_duration_seconds", "Query execution time (bind through last row), by finished query.")
+	m.queueHist.write(w, "stemsd_query_queue_seconds", "Time spent waiting for an admission slot, by finished query.")
+	m.rowsHist.write(w, "stemsd_query_rows", "Result rows streamed, by finished query.")
 
 	gauge("stemsd_inflight_queries", "Queries currently executing.")
 	fmt.Fprintf(w, "stemsd_inflight_queries %d\n", g.inflight)
@@ -174,4 +193,6 @@ func (m *metrics) write(w io.Writer, g gauges) {
 	fmt.Fprintf(w, "stemsd_draining %d\n", draining)
 	gauge("stemsd_uptime_seconds", "Seconds since the server started.")
 	fmt.Fprintf(w, "stemsd_uptime_seconds %.3f\n", time.Since(m.start).Seconds())
+	gauge("stemsd_build_info", "Build metadata; the value is always 1.")
+	fmt.Fprintf(w, "stemsd_build_info{version=%q,go=%q} 1\n", g.version, runtime.Version())
 }

@@ -21,6 +21,7 @@ import (
 	"repro/internal/eddy"
 	"repro/internal/sql"
 	"repro/internal/stem"
+	"repro/internal/trace"
 )
 
 // planKey identifies one executable plan shape: the canonical statement
@@ -44,6 +45,12 @@ type planKey struct {
 type engineShell struct {
 	r   *eddy.Router
 	eng *eddy.Concurrent
+	// coll is the shell's trace collector, pooled with the shell and Reset
+	// before every reuse — the per-execution-stats invariant: a pooled
+	// shell never carries observed statistics across runs. (The routing
+	// policy deliberately does carry its learned state over; the collector
+	// reports a single execution.)
+	coll *trace.Collector
 	// shared records the shared-SteM states (by table position) the router
 	// was built against; executions pointer-compare it with their own
 	// attachments and discard the shell on mismatch, since a REGISTER or an

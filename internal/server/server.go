@@ -18,8 +18,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -89,6 +91,22 @@ type Config struct {
 	// footprint; rows beyond it live in sealed spill segments under
 	// SpillDir and are read back at probe time. 0 keeps builds resident.
 	SharedStemSpillBytes int64
+	// Logger receives structured per-query logs (admitted, finished, slow
+	// queries). nil disables logging entirely — the default, so the serving
+	// hot path pays nothing unless an operator opts in.
+	Logger *slog.Logger
+	// PprofLabels labels each query's goroutines with its query ID
+	// (pprof.Do), so CPU profiles attribute samples to queries. Off by
+	// default: the label set costs allocations per query.
+	PprofLabels bool
+	// SlowQuery logs queries whose execution time meets or exceeds it at
+	// Warn level (requires Logger); 0 disables the threshold.
+	SlowQuery time.Duration
+	// CompletedCap bounds the completed-queries ring served by GET /queries
+	// (default 256; negative disables the ring).
+	CompletedCap int
+	// Version is reported by stemsd_build_info; empty defaults to "dev".
+	Version string
 }
 
 func (c Config) withDefaults() Config {
@@ -115,6 +133,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.PlanCacheSize == 0 {
 		c.PlanCacheSize = 128
+	}
+	if c.CompletedCap == 0 {
+		c.CompletedCap = 256
+	}
+	if c.Version == "" {
+		c.Version = "dev"
 	}
 	return c
 }
@@ -195,6 +219,10 @@ type Server struct {
 	// resolves names here before hitting the plan cache.
 	pmu      sync.Mutex
 	prepared map[string]*preparedStmt
+
+	// completed is the finished-query ring behind GET /queries; nil when
+	// disabled by config.
+	completed *completedRing
 }
 
 // preparedStmt is one PREPARE registration: the parsed SELECT plus its
@@ -227,9 +255,14 @@ func New(cat *Catalog, cfg Config) *Server {
 	if cfg.SharedStems {
 		s.shared = newSharedStems(cfg.SharedStemBytes, cfg.SharedStemSpillBytes, cfg.SpillDir)
 	}
+	if cfg.CompletedCap > 0 {
+		s.completed = newCompletedRing(cfg.CompletedCap)
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /query", s.handleQuery)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("GET /queries", s.handleQueries)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /tables", s.handleTables)
 	mux.HandleFunc("GET /plans", s.handlePlans)
@@ -397,6 +430,7 @@ func (s *Server) spillBytes() (resident, spilled int64) {
 func (s *Server) gauges() gauges {
 	res, sp := s.spillBytes()
 	g := gauges{
+		version:       s.cfg.Version,
 		inflight:      int64(len(s.sem)),
 		queued:        s.queued.Load(),
 		sessions:      s.sessionCount(),
@@ -445,6 +479,11 @@ type QueryRequest struct {
 	// is ignored entirely when the server runs without a budget — clients
 	// cannot switch disk spill on.
 	MemBudgetBytes int64 `json:"mem_budget_bytes,omitempty"`
+	// Explain streams the query normally, then appends one NDJSON trace
+	// record after the done trailer: per-module visits/outputs/selectivity
+	// and service time, plus the routing policy's learned state — the
+	// EXPLAIN ANALYZE of a planless engine.
+	Explain bool `json:"explain,omitempty"`
 }
 
 func writeJSONError(w http.ResponseWriter, code int, err error) {
@@ -453,16 +492,16 @@ func writeJSONError(w http.ResponseWriter, code int, err error) {
 	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
 }
 
+// handleHealthz is liveness: it answers 200 as long as the process serves
+// HTTP, draining or not, so orchestrators don't kill a pod that is cleanly
+// finishing its queries. Routability is /readyz's question.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	g := s.gauges()
 	status := "ok"
-	code := http.StatusOK
 	if g.draining {
 		status = "draining"
-		code = http.StatusServiceUnavailable
 	}
 	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
 	json.NewEncoder(w).Encode(map[string]any{
 		"status":   status,
 		"tables":   s.cat.Tables(),
@@ -470,6 +509,39 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"queued":   g.queued,
 		"sessions": g.sessions,
 	})
+}
+
+// handleReadyz is readiness: 503 with {"draining": true} the moment
+// Shutdown begins, so load balancers stop routing before the drain
+// completes and in-flight queries finish against a quiet server.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if s.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(map[string]any{"ready": false, "draining": true})
+		return
+	}
+	json.NewEncoder(w).Encode(map[string]any{"ready": true, "draining": false})
+}
+
+// handleQueries serves the completed-queries ring, newest first; min_ms
+// filters to queries whose execution time met the threshold.
+func (s *Server) handleQueries(w http.ResponseWriter, r *http.Request) {
+	if s.completed == nil {
+		writeJSONError(w, http.StatusNotFound, errors.New("completed-queries ring disabled (CompletedCap < 0)"))
+		return
+	}
+	var minDur time.Duration
+	if v := r.URL.Query().Get("min_ms"); v != "" {
+		ms, err := strconv.ParseFloat(v, 64)
+		if err != nil || ms < 0 {
+			writeJSONError(w, http.StatusBadRequest, fmt.Errorf("bad min_ms %q", v))
+			return
+		}
+		minDur = time.Duration(ms * float64(time.Millisecond))
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{"queries": s.completed.list(minDur)})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

@@ -76,6 +76,7 @@ type ndjsonResult struct {
 	status  int
 	rows    []map[string]any
 	trailer map[string]any
+	trace   map[string]any
 	errLine string
 }
 
@@ -115,6 +116,8 @@ func postQuery(t testing.TB, client *http.Client, url string, body any) ndjsonRe
 			res.rows = append(res.rows, obj["row"].(map[string]any))
 		case obj["done"] == true || obj["registered"] != nil:
 			res.trailer = obj
+		case obj["trace"] != nil:
+			res.trace = obj["trace"].(map[string]any)
 		case obj["error"] != nil:
 			res.errLine = obj["error"].(string)
 		}
@@ -457,14 +460,27 @@ func TestGracefulShutdownDrain(t *testing.T) {
 	}
 	<-done
 
-	// healthz reports draining.
+	// Liveness stays 200 while draining; readiness flips to 503 with the
+	// draining marker so load balancers stop routing.
 	resp, err := client.Get(ts.URL + "/healthz")
 	if err != nil {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
-	if resp.StatusCode != http.StatusServiceUnavailable {
-		t.Errorf("healthz while draining = %d, want 503", resp.StatusCode)
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz while draining = %d, want 200 (liveness)", resp.StatusCode)
+	}
+	resp, err = client.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ready struct {
+		Draining bool `json:"draining"`
+	}
+	json.NewDecoder(resp.Body).Decode(&ready)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || !ready.Draining {
+		t.Errorf("readyz while draining = %d draining=%v, want 503 with draining true", resp.StatusCode, ready.Draining)
 	}
 
 	ts.Close()

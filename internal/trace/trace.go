@@ -14,6 +14,7 @@ import (
 	"repro/internal/clock"
 	"repro/internal/eddy"
 	"repro/internal/flow"
+	"repro/internal/policy"
 	"repro/internal/tuple"
 )
 
@@ -90,8 +91,160 @@ func (c *Collector) Attach(sim *eddy.Sim) {
 	}
 }
 
+// AttachConcurrent hooks the collector into a concurrent-engine run: the
+// engine reports every service completion the policy observes (row and
+// columnar batches both funnel through the single eddy goroutine, so no
+// locking is needed) and every result emission. Existing hooks are chained;
+// attach after installing any streaming OnOutput so both run. The span
+// histogram is not populated on this path — the concurrent engine does not
+// expose per-emission hooks.
+func (c *Collector) AttachConcurrent(eng *eddy.Concurrent) {
+	prevService := eng.OnService
+	eng.OnService = func(fb policy.Feedback) {
+		c.ObserveFeedback(fb)
+		if prevService != nil {
+			prevService(fb)
+		}
+	}
+	prevOut := eng.OnOutput
+	eng.OnOutput = func(t *tuple.Tuple, at clock.Time) {
+		c.outputs++
+		c.lastOut = at
+		if prevOut != nil {
+			prevOut(t, at)
+		}
+	}
+}
+
+// ObserveFeedback folds one service-completion feedback event into the
+// per-module aggregates. Batched feedback carries totals over Visits module
+// visits; they are accumulated as-is (totals are what the report shows).
+func (c *Collector) ObserveFeedback(fb policy.Feedback) {
+	if fb.Module < 0 || fb.Module >= len(c.mods) || fb.Emitted < 0 {
+		return
+	}
+	m := &c.mods[fb.Module]
+	n := fb.Visits
+	if n < 1 {
+		n = 1
+	}
+	m.Visits += uint64(n)
+	if fb.Outputs > 0 {
+		m.Outputs += uint64(fb.Outputs)
+	}
+	m.TotalCost += fb.Cost
+	if m.FirstBusy < 0 {
+		m.FirstBusy = fb.Now
+	}
+	m.LastBusy = fb.Now
+}
+
+// Reset clears all accumulated statistics, keeping the module names, so a
+// pooled execution shell can reuse one collector without bleeding stats
+// across runs.
+func (c *Collector) Reset() {
+	for i := range c.mods {
+		name := c.mods[i].Name
+		c.mods[i] = ModStats{Name: name, FirstBusy: -1}
+	}
+	c.outputs = 0
+	c.lastOut = 0
+	c.SpanHistogram = c.SpanHistogram[:0]
+}
+
 // Modules returns the per-module aggregates.
 func (c *Collector) Modules() []ModStats { return c.mods }
+
+// Results returns the number of result emissions observed.
+func (c *Collector) Results() uint64 { return c.outputs }
+
+// ModuleRecord is one module's aggregates in wire form.
+type ModuleRecord struct {
+	Name    string `json:"name"`
+	Visits  uint64 `json:"visits"`
+	Outputs uint64 `json:"outputs"`
+	// Selectivity is outputs per visit — the productive-output rate the
+	// routing policy steers on.
+	Selectivity float64 `json:"selectivity"`
+	// BusySeconds is total service time charged to the module.
+	BusySeconds float64 `json:"busy_seconds"`
+	FirstBusy   float64 `json:"first_busy_s"`
+	LastBusy    float64 `json:"last_busy_s"`
+}
+
+// Record is the JSON-serializable form of a run's trace: per-module stats
+// plus (when the policy supports introspection) the learned routing state.
+type Record struct {
+	Results     uint64           `json:"results"`
+	LastOutputS float64          `json:"last_output_s"`
+	Modules     []ModuleRecord   `json:"modules"`
+	SpanHist    []uint64         `json:"span_histogram,omitempty"`
+	Policy      []PolicyEstimate `json:"policy,omitempty"`
+}
+
+// PolicyEstimate names a policy.ModuleState with the module's display name.
+type PolicyEstimate struct {
+	Module      string  `json:"module"`
+	Sig         uint64  `json:"sig"`
+	Visits      uint64  `json:"visits"`
+	OutPerVisit float64 `json:"out_per_visit"`
+	CostSeconds float64 `json:"cost_seconds"`
+}
+
+// Record snapshots the collector (and, if pol implements
+// policy.Introspector, the policy's learned estimates) into wire form.
+// Modules are ordered by visit count, busiest first, matching Report.
+func (c *Collector) Record(pol policy.Policy) Record {
+	rec := Record{
+		Results:     c.outputs,
+		LastOutputS: c.lastOut.Seconds(),
+		Modules:     make([]ModuleRecord, 0, len(c.mods)),
+	}
+	order := make([]int, len(c.mods))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return c.mods[order[a]].Visits > c.mods[order[b]].Visits })
+	for _, i := range order {
+		m := c.mods[i]
+		sel := 0.0
+		if m.Visits > 0 {
+			sel = float64(m.Outputs) / float64(m.Visits)
+		}
+		first := 0.0
+		if m.FirstBusy >= 0 {
+			first = m.FirstBusy.Seconds()
+		}
+		rec.Modules = append(rec.Modules, ModuleRecord{
+			Name:        m.Name,
+			Visits:      m.Visits,
+			Outputs:     m.Outputs,
+			Selectivity: sel,
+			BusySeconds: m.TotalCost.Seconds(),
+			FirstBusy:   first,
+			LastBusy:    m.LastBusy.Seconds(),
+		})
+	}
+	if len(c.SpanHistogram) > 0 {
+		rec.SpanHist = append([]uint64(nil), c.SpanHistogram...)
+	}
+	if intro, ok := pol.(policy.Introspector); ok {
+		for _, ms := range intro.Snapshot() {
+			name := fmt.Sprintf("#%d", ms.Module)
+			if ms.Module >= 0 && ms.Module < len(c.mods) {
+				name = c.mods[ms.Module].Name
+			}
+			rec.Policy = append(rec.Policy, PolicyEstimate{
+				Module:      name,
+				Sig:         ms.Sig,
+				Visits:      ms.Visits,
+				OutPerVisit: ms.OutPerVisit,
+				CostSeconds: ms.CostSeconds,
+			})
+		}
+	}
+	return rec
+}
 
 // Report renders the collected statistics.
 func (c *Collector) Report() string {

@@ -190,7 +190,8 @@ type Options struct {
 	// setting (Section 3.4). Simulation engine only.
 	OnPartial func(Row)
 	// Explain collects per-module execution statistics into Result.Explain.
-	// Simulation engine only.
+	// Both engines support it; the simulation engine additionally reports
+	// the emission span histogram.
 	Explain bool
 }
 
@@ -641,8 +642,8 @@ func (q *Query) Run(opts Options) (*Result, error) {
 	var collector *trace.Collector
 	switch opts.Engine {
 	case Concurrent:
-		if opts.Explain || opts.OnPartial != nil {
-			return nil, fmt.Errorf("stems: Explain and OnPartial require the simulation engine")
+		if opts.OnPartial != nil {
+			return nil, fmt.Errorf("stems: OnPartial requires the simulation engine")
 		}
 		comp := opts.TimeCompression
 		if comp == 0 {
@@ -655,6 +656,10 @@ func (q *Query) Run(opts Options) (*Result, error) {
 			eng.OnOutput = func(t *tuple.Tuple, at clock.Time) {
 				opts.OnResult(Row{At: time.Duration(at), q: iq, t: t})
 			}
+		}
+		if opts.Explain {
+			collector = trace.NewCollector(r.Modules())
+			collector.AttachConcurrent(eng)
 		}
 		ctx := opts.Context
 		if ctx == nil {

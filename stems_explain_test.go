@@ -59,10 +59,21 @@ func TestOnPartialStreamsIntermediates(t *testing.T) {
 	}
 }
 
-func TestExplainRejectedOnConcurrent(t *testing.T) {
-	_, err := threeTableJoin().Run(Options{Engine: Concurrent, Explain: true})
-	if err == nil {
-		t.Fatal("Explain on the concurrent engine must be rejected")
+func TestExplainOnConcurrent(t *testing.T) {
+	res, err := threeTableJoin().Run(Options{Engine: Concurrent, Explain: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("no results")
+	}
+	if res.Explain == "" {
+		t.Fatal("Explain empty on the concurrent engine")
+	}
+	for _, want := range []string{"SteM(A)", "SteM(B)", "SteM(C)", "results"} {
+		if !strings.Contains(res.Explain, want) {
+			t.Errorf("Explain missing %q:\n%s", want, res.Explain)
+		}
 	}
 }
 
