@@ -27,6 +27,15 @@
 // GET /plans lists prepared statements and cached plans; -plan-cache sizes
 // the cache.
 //
+// Live ingestion and standing queries: INSERT INTO t VALUES (...) —
+// or POST /insert with {"table":..., "rows":[[...],...]} — appends rows to
+// a registered table (cached plans invalidate, shared SteMs rebuild
+// lazily). POST /query with "subscribe": true turns a SELECT into a
+// standing query: the response streams the current result set, a
+// {"snapshot":true} marker, and then only the delta rows each insert
+// produces, until the client disconnects, the table is replaced by a
+// REGISTER, or the server drains.
+//
 // Admission control bounds concurrent queries (-max-inflight) and the wait
 // queue (-queue); per-query deadlines default to -deadline and are capped
 // at -max-deadline.

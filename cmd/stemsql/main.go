@@ -12,6 +12,10 @@
 //
 //	stemsql> REGISTER TABLE items FROM 'items.csv' INDEX id LATENCY 50ms;
 //
+// INSERT INTO t VALUES (...) appends rows to a registered table; later
+// statements see them (running stemsd subscriptions fed through -server
+// receive the delta).
+//
 // Each source gets a scan access method by default; declare an extra
 // asynchronous index with -index table:column:latency, e.g.
 // -index people:id:200ms, and pick a routing policy with -policy.
@@ -239,6 +243,13 @@ func run(stmtSrc string, cat *server.Catalog, prepped map[string]*sql.Stmt, poli
 		}
 		fmt.Printf("-- registered table %s (%d rows)\n", st.Name, rows)
 		return nil
+	case *sql.InsertStmt:
+		total, err := cat.Append(st.Table, st.RowValues())
+		if err != nil {
+			return err
+		}
+		fmt.Printf("-- inserted %d rows into %s (%d total)\n", len(st.Rows), st.Table, total)
+		return nil
 	case *sql.PrepareStmt:
 		if _, dup := prepped[st.Name]; dup {
 			return fmt.Errorf("stemsql: statement %q already prepared", st.Name)
@@ -431,6 +442,8 @@ func (c *remoteClient) run(stmt string, explain bool) error {
 			fmt.Fprintf(w, "-- prepared %v\n", obj["prepared"])
 		case obj["registered"] != nil:
 			fmt.Fprintf(w, "-- registered table %v (%v rows)\n", obj["registered"], obj["rows"])
+		case obj["inserted"] != nil:
+			fmt.Fprintf(w, "-- inserted %v rows into %v (%v total)\n", obj["inserted"], obj["table"], obj["total_rows"])
 		default:
 			// Future line kinds pass through rather than vanish.
 			w.Write(line)

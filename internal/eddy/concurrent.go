@@ -395,6 +395,26 @@ func (c *Concurrent) Run() ([]Output, error) { return c.RunContext(context.Backg
 // results produced so far plus an error wrapping ctx.Err(). Every goroutine
 // the run started has exited by the time RunContext returns.
 func (c *Concurrent) RunContext(ctx context.Context) ([]Output, error) {
+	return c.run(ctx, c.r.Seeds())
+}
+
+// RunDelta runs one incremental round over the module state earlier rounds
+// built: the given tuples (fresh singletons for newly arrived rows) are
+// injected into the dataflow instead of the routing's seeds, so no scan
+// re-runs, and the results are exactly this round's delta — an injected
+// tuple builds into its SteM with a fresh timestamp from the router's
+// persistent counter and its probes match every strictly-older build, so
+// each cross-round combination is produced once, by its last-arriving
+// component. Call it on a shell whose previous round completed and was
+// Reset (the engine's channels are rearmed, hooks must be re-set) WITHOUT
+// resetting the Routing — the SteM state is the standing query.
+func (c *Concurrent) RunDelta(ctx context.Context, ts []*tuple.Tuple) ([]Output, error) {
+	return c.run(ctx, ts)
+}
+
+// run executes one round: seeds (initial scan seeds or injected delta
+// tuples) enter the dataflow, and the call returns at quiescence.
+func (c *Concurrent) run(ctx context.Context, seeds []*tuple.Tuple) ([]Output, error) {
 	if c.BatchSize <= 0 {
 		c.BatchSize = DefaultBatchSize
 	}
@@ -477,7 +497,6 @@ func (c *Concurrent) RunContext(ctx context.Context) ([]Output, error) {
 		}
 	}
 
-	seeds := c.r.Seeds()
 	c.inflight.Store(int64(len(seeds)))
 	if len(seeds) > 0 {
 		c.senders.Add(1)

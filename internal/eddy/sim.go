@@ -190,6 +190,30 @@ func (s *Sim) Run() ([]Output, error) {
 	for _, seed := range s.r.Seeds() {
 		s.push(&event{at: 0, kind: evArrive, t: seed})
 	}
+	return s.loop()
+}
+
+// RunDelta continues a completed run with newly arrived tuples: each is
+// injected at the current virtual time and simulated to quiescence against
+// the SteM state the earlier rounds built, and only the results of this
+// round are returned. The SteM timestamp constraint makes the rounds
+// compose exactly — an injected tuple's probes match every strictly-older
+// build, so each cross-round combination is produced by its last-arriving
+// component, exactly once.
+func (s *Sim) RunDelta(ts []*tuple.Tuple) ([]Output, error) {
+	mark := len(s.outputs)
+	for _, t := range ts {
+		s.Inject(t, s.now)
+	}
+	outs, err := s.loop()
+	if err != nil {
+		return nil, err
+	}
+	return outs[mark:], nil
+}
+
+// loop drains the event heap (plus any spill replay) to quiescence.
+func (s *Sim) loop() ([]Output, error) {
 	max := s.MaxEvents
 	if max == 0 {
 		max = 50_000_000

@@ -19,6 +19,7 @@ import (
 	"repro/internal/csvload"
 	"repro/internal/source"
 	"repro/internal/sql"
+	"repro/internal/tuple"
 )
 
 // Catalog is a concurrency-safe, mutable catalog of registered tables. It
@@ -27,12 +28,21 @@ import (
 type Catalog struct {
 	mu      sync.RWMutex
 	sources map[string]sql.Source
-	// version counts catalog mutations (Put, AddIndex). The plan cache keys
-	// entries on the version a statement was bound at, so any registration
-	// lazily invalidates every cached plan by version mismatch — no
+	// version counts catalog mutations (Put, AddIndex, Append). The plan
+	// cache keys entries on the version a statement was bound at, so any
+	// mutation lazily invalidates every cached plan by version mismatch — no
 	// enumeration of affected plans, no lock coupling between DDL and the
 	// cache.
 	version uint64
+	// gens counts, per table, the mutations that replace the table's
+	// identity (Put, AddIndex) as opposed to extending its rows (Append).
+	// Standing queries record the generation they bound at: an append lets
+	// them continue with a delta round, a generation change ends them — the
+	// replacement table has no delta relationship to the old one.
+	gens map[string]uint64
+	// changed is closed and replaced on every mutation; Changed hands it to
+	// subscribers as a broadcast "something moved, re-inspect" signal.
+	changed chan struct{}
 
 	// scanInterval is the modeled inter-arrival pacing given to the scan
 	// access method of every registered table.
@@ -48,6 +58,8 @@ type Catalog struct {
 func NewCatalog(scanInterval time.Duration, dir string) *Catalog {
 	return &Catalog{
 		sources:      make(map[string]sql.Source),
+		gens:         make(map[string]uint64),
+		changed:      make(chan struct{}),
 		scanInterval: clock.Duration(scanInterval),
 		dir:          dir,
 	}
@@ -110,12 +122,88 @@ func (c *Catalog) Len() int {
 }
 
 // Put registers (or replaces) a source under the given name and bumps the
-// catalog version.
+// catalog version and the table's generation.
 func (c *Catalog) Put(name string, s sql.Source) {
 	c.mu.Lock()
 	c.sources[name] = s
 	c.version++
+	c.gens[name]++
+	c.notifyLocked()
 	c.mu.Unlock()
+}
+
+// notifyLocked wakes every Changed subscriber; the caller holds c.mu.
+func (c *Catalog) notifyLocked() {
+	close(c.changed)
+	c.changed = make(chan struct{})
+}
+
+// Changed returns a channel that is closed at the next catalog mutation
+// (Put, AddIndex, or Append). Subscribers re-call it after each wake-up; a
+// mutation between the wake-up and the re-call closes the fresh channel
+// immediately, so no change is ever missed.
+func (c *Catalog) Changed() <-chan struct{} {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.changed
+}
+
+// SnapshotSubscribe returns an immutable catalog copy together with every
+// table's generation, taken atomically under one lock: a subscription binds
+// against the snapshot and records the generations as its baseline, so a
+// concurrent Put is seen either by the bind or as a later generation change
+// — never missed.
+func (c *Catalog) SnapshotSubscribe() (sql.MapCatalog, map[string]uint64) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make(sql.MapCatalog, len(c.sources))
+	for k, v := range c.sources {
+		out[k] = v
+	}
+	gens := make(map[string]uint64, len(c.gens))
+	for k, v := range c.gens {
+		gens[k] = v
+	}
+	return out, gens
+}
+
+// SourceGen returns the named source together with its generation, read
+// atomically. The generation moves on Put and AddIndex but not on Append:
+// same generation + more rows means "the table you bound is still the one
+// being extended".
+func (c *Catalog) SourceGen(name string) (sql.Source, uint64, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	s, ok := c.sources[name]
+	return s, c.gens[name], ok
+}
+
+// Append adds rows to a registered table, replacing its immutable data
+// table copy-on-publish: in-flight queries keep the version they bound,
+// new binds (and the lazy invalidation of plan-cache entries and shared
+// SteMs, both of which compare table pointers or catalog versions) see the
+// extended table. The rows are validated against the table's schema. It
+// returns the table's new total row count.
+func (c *Catalog) Append(name string, rows []tuple.Row) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	src, ok := c.sources[name]
+	if !ok {
+		return 0, fmt.Errorf("server: insert into unknown table %q", name)
+	}
+	old := src.Data
+	combined := make([]tuple.Row, 0, len(old.Rows)+len(rows))
+	combined = append(combined, old.Rows...)
+	combined = append(combined, rows...)
+	data, err := source.NewTable(old.Schema, combined)
+	if err != nil {
+		return 0, fmt.Errorf("server: insert into %q: %w", name, err)
+	}
+	src.Data = data
+	c.sources[name] = src
+	c.version++
+	c.notifyLocked()
+	return len(data.Rows), nil
 }
 
 // open applies the catalog's data-directory confinement: with a dir set,
@@ -237,5 +325,7 @@ func (c *Catalog) AddIndex(table, col string, latency time.Duration) error {
 	})
 	c.sources[table] = src
 	c.version++
+	c.gens[table]++
+	c.notifyLocked()
 	return nil
 }

@@ -111,6 +111,15 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeJSONError(w, http.StatusBadRequest, err)
 		return
 	}
+	if req.Subscribe {
+		// Only a SELECT (direct or via EXECUTE) can stand.
+		switch st.(type) {
+		case *sql.Stmt, *sql.ExecuteStmt:
+		default:
+			writeJSONError(w, http.StatusBadRequest, errors.New("subscribe requires a SELECT"))
+			return
+		}
+	}
 	switch st := st.(type) {
 	case *sql.RegisterStmt:
 		// Registrations pass the same drain barrier and admission gate as
@@ -140,6 +149,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.met.register()
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(map[string]any{"registered": st.Name, "rows": rows})
+	case *sql.InsertStmt:
+		s.applyInsert(w, r, st.Table, st.RowValues())
 	case *sql.PrepareStmt:
 		s.handlePrepare(w, st)
 	case *sql.ExecuteStmt:
@@ -183,6 +194,14 @@ func (s *Server) handlePrepare(w http.ResponseWriter, st *sql.PrepareStmt) {
 // runQuery admits, executes, and streams one SELECT. canon is the
 // statement's canonical text, which keys the plan cache.
 func (s *Server) runQuery(w http.ResponseWriter, r *http.Request, req QueryRequest, st *sql.Stmt, canon string) {
+	if req.Subscribe {
+		s.runSubscription(w, r, req, st, canon)
+		return
+	}
+	if len(req.Window) > 0 {
+		writeJSONError(w, http.StatusBadRequest, errors.New(`"window" requires "subscribe": true (a bounded query's results would depend on scan interleaving)`))
+		return
+	}
 	// Register with the drain barrier first: Shutdown flips draining before
 	// waiting, so a query that slips past the flag is still waited for.
 	if !s.beginQuery() {

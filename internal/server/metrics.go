@@ -34,6 +34,8 @@ type metrics struct {
 	mu           sync.Mutex
 	queries      map[queryStatus]uint64
 	registers    uint64
+	inserts      uint64
+	insertedRows uint64
 	rowsStreamed uint64
 	routingSteps uint64
 	stemBuilds   uint64
@@ -86,6 +88,14 @@ func (m *metrics) register() {
 	m.mu.Unlock()
 }
 
+// insert folds one INSERT (statement or POST /insert call) into the totals.
+func (m *metrics) insert(rows int) {
+	m.mu.Lock()
+	m.inserts++
+	m.insertedRows += uint64(rows)
+	m.mu.Unlock()
+}
+
 // gauges are point-in-time values the Server owns; passed in at render
 // time. The plan-cache counters ride along here too — they live in the
 // cache's own atomics, not under this struct's mutex.
@@ -95,6 +105,7 @@ type gauges struct {
 	sessions      int
 	tables        int
 	prepared      int
+	subscribers   int64
 	draining      bool
 	spillResident int64
 	spillSpilled  int64
@@ -134,6 +145,10 @@ func (m *metrics) write(w io.Writer, g gauges) {
 	}
 	counter("stemsd_registers_total", "REGISTER TABLE statements executed.")
 	fmt.Fprintf(w, "stemsd_registers_total %d\n", m.registers)
+	counter("stemsd_inserts_total", "INSERT statements and POST /insert calls executed.")
+	fmt.Fprintf(w, "stemsd_inserts_total %d\n", m.inserts)
+	counter("stemsd_inserted_rows_total", "Rows appended to catalog tables by inserts.")
+	fmt.Fprintf(w, "stemsd_inserted_rows_total %d\n", m.insertedRows)
 	counter("stemsd_rows_streamed_total", "Result rows streamed to clients.")
 	fmt.Fprintf(w, "stemsd_rows_streamed_total %d\n", m.rowsStreamed)
 	counter("stemsd_routing_steps_total", "Eddy routing decisions across all queries.")
@@ -169,6 +184,8 @@ func (m *metrics) write(w io.Writer, g gauges) {
 	fmt.Fprintf(w, "stemsd_queued_queries %d\n", g.queued)
 	gauge("stemsd_sessions_active", "Live sessions.")
 	fmt.Fprintf(w, "stemsd_sessions_active %d\n", g.sessions)
+	gauge("stemsd_subscribers_active", "Standing queries currently holding a subscription stream.")
+	fmt.Fprintf(w, "stemsd_subscribers_active %d\n", g.subscribers)
 	gauge("stemsd_catalog_tables", "Tables registered in the shared catalog.")
 	fmt.Fprintf(w, "stemsd_catalog_tables %d\n", g.tables)
 	gauge("stemsd_plan_cache_entries", "Live plan cache entries.")

@@ -192,6 +192,11 @@ type Server struct {
 	baseCtx    context.Context
 	cancelBase context.CancelCauseFunc
 	draining   atomic.Bool
+	// drainCh is closed the moment Shutdown begins. Bounded queries keep
+	// running through the drain window, but standing subscriptions have no
+	// natural end — they select on this channel and wind down immediately so
+	// a drain never waits its full timeout on a subscriber.
+	drainCh chan struct{}
 	// drainMu orders beginQuery against Shutdown: queries register with the
 	// WaitGroup under the read lock, Shutdown flips draining under the write
 	// lock, so no query can slip in after the drain barrier is up.
@@ -201,6 +206,8 @@ type Server struct {
 	sem    chan struct{}
 	queued atomic.Int64
 	qid    atomic.Uint64
+	// subs gauges live subscription streams for /metrics.
+	subs atomic.Int64
 
 	smu      sync.Mutex
 	sessions map[string]*session
@@ -244,6 +251,7 @@ func New(cat *Catalog, cfg Config) *Server {
 		met:        newMetrics(),
 		baseCtx:    baseCtx,
 		cancelBase: cancelBase,
+		drainCh:    make(chan struct{}),
 		sem:        make(chan struct{}, cfg.MaxInFlight),
 		sessions:   make(map[string]*session),
 		govs:       make(map[*stem.Governor]struct{}),
@@ -260,6 +268,7 @@ func New(cat *Catalog, cfg Config) *Server {
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /query", s.handleQuery)
+	mux.HandleFunc("POST /insert", s.handleInsert)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /queries", s.handleQueries)
@@ -290,7 +299,9 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 // for the same handlers this waits for).
 func (s *Server) Shutdown(drain time.Duration) {
 	s.drainMu.Lock()
-	s.draining.Store(true)
+	if !s.draining.Swap(true) {
+		close(s.drainCh)
+	}
 	s.drainMu.Unlock()
 	done := make(chan struct{})
 	go func() {
@@ -436,6 +447,7 @@ func (s *Server) gauges() gauges {
 		sessions:      s.sessionCount(),
 		tables:        s.cat.Len(),
 		prepared:      s.preparedCount(),
+		subscribers:   s.subs.Load(),
 		draining:      s.draining.Load(),
 		spillResident: res,
 		spillSpilled:  sp,
@@ -484,6 +496,26 @@ type QueryRequest struct {
 	// and service time, plus the routing policy's learned state — the
 	// EXPLAIN ANALYZE of a planless engine.
 	Explain bool `json:"explain,omitempty"`
+	// Subscribe turns a SELECT into a standing query: after the results over
+	// the tables' current rows and a {"snapshot":true,...} marker, the
+	// response stays open and every INSERT into a FROM table runs a delta
+	// round whose new join results stream as further rows. The subscription
+	// holds its execution slot for its whole life and ends when the client
+	// disconnects, a REGISTER replaces a subscribed table, the server
+	// drains, or an explicit deadline fires; the final line reports the
+	// reason. Subscriptions reject ORDER BY/LIMIT (they never complete, so
+	// there is nothing to arrange), Explain, memory budgets, and tables
+	// with index access methods (index lookups would answer from a frozen
+	// copy of the table).
+	Subscribe bool `json:"subscribe,omitempty"`
+	// Window bounds standing-query SteM state per FROM table (keyed by the
+	// name the query uses — the alias when one is declared): each table's
+	// SteM keeps only the N most recent rows, older ones are evicted, and
+	// delta results reflect the window contents at each insert's arrival —
+	// joins against evicted rows are intentionally not produced. Only valid
+	// with Subscribe: a bounded query's results would silently depend on
+	// scan interleaving.
+	Window map[string]int `json:"window,omitempty"`
 }
 
 func writeJSONError(w http.ResponseWriter, code int, err error) {

@@ -25,6 +25,9 @@ func FuzzParseStatement(f *testing.F) {
 		"EXECUTE hot",
 		"execute p1",
 		"SELECT prepare, execute FROM prepare WHERE execute.prepare = 1",
+		"INSERT INTO t VALUES (1, 'x')",
+		"insert into t values (1, 'it''s'), (-2, NULL), (3, 'z')",
+		"SELECT insert, null FROM values WHERE into.null = 1",
 		// The malformed table-driven cases.
 		"",
 		"FROM r",
@@ -57,6 +60,15 @@ func FuzzParseStatement(f *testing.F) {
 		"EXECUTE",
 		"EXECUTE 'name'",
 		"EXECUTE p extra",
+		"INSERT t VALUES (1)",
+		"INSERT INTO t (1, 2)",
+		"INSERT INTO t VALUES",
+		"INSERT INTO t VALUES ()",
+		"INSERT INTO t VALUES (1,)",
+		"INSERT INTO t VALUES (1) (2)",
+		"INSERT INTO t VALUES (a)",
+		"INSERT INTO t VALUES (1), (2, 3)",
+		"INSERT INTO t VALUES (1, 'open",
 	}
 	for _, s := range seeds {
 		f.Add(s)

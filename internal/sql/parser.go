@@ -12,12 +12,15 @@
 //	REGISTER TABLE name FROM 'path.csv' ( INDEX column LATENCY duration )*
 //	PREPARE name AS select-statement
 //	EXECUTE name
+//	INSERT INTO name VALUES ( literal (',' literal)* ) (',' ( ... ))*
 //
-// REGISTER, TABLE, INDEX, LATENCY, PREPARE, and EXECUTE are contextual
-// words — they stay usable as column and table identifiers inside SELECT
-// statements. Only SELECTs can be prepared: PREPARE names a statement so
-// the server can cache its bound plan and execute it repeatedly without
-// re-parsing or re-binding.
+// REGISTER, TABLE, INDEX, LATENCY, PREPARE, EXECUTE, INSERT, INTO, VALUES,
+// and NULL are contextual words — they stay usable as column and table
+// identifiers inside SELECT statements. Only SELECTs can be prepared:
+// PREPARE names a statement so the server can cache its bound plan and
+// execute it repeatedly without re-parsing or re-binding. INSERT rows are
+// literals only (integers, quoted strings, NULL); schema validation happens
+// at append time against the registered table.
 //
 // Parse errors report the byte offset of the offending token ("position
 // N"); statements are single-line, so the offset is also the 0-based
@@ -31,13 +34,26 @@ import (
 )
 
 // Statement is any parsed statement: *Stmt (a SELECT), *RegisterStmt
-// (a catalog registration), *PrepareStmt, or *ExecuteStmt.
+// (a catalog registration), *PrepareStmt, *ExecuteStmt, or *InsertStmt
+// (a live append to a registered table).
 type Statement interface{ isStatement() }
 
 func (*Stmt) isStatement()         {}
 func (*RegisterStmt) isStatement() {}
 func (*PrepareStmt) isStatement()  {}
 func (*ExecuteStmt) isStatement()  {}
+func (*InsertStmt) isStatement()   {}
+
+// InsertStmt is a parsed INSERT INTO statement: it appends literal rows to
+// a registered catalog table. Execution (schema validation, table
+// versioning) is the catalog owner's job, not the parser's.
+type InsertStmt struct {
+	// Table is the catalog name of the target table.
+	Table string
+	// Rows are the literal VALUES tuples in statement order. Operands are
+	// OpInt, OpStr, or OpNull — never OpCol.
+	Rows [][]Operand
+}
 
 // PrepareStmt is a parsed PREPARE name AS select statement: it asks the
 // executor to remember the SELECT under the given name so later EXECUTEs
@@ -133,6 +149,9 @@ const (
 	OpInt
 	// OpStr is a string literal.
 	OpStr
+	// OpNull is the NULL literal; it appears only in INSERT rows (a WHERE
+	// comparison against NULL has no defined semantics in this dialect).
+	OpNull
 )
 
 // Operand is one side of a comparison.
@@ -185,6 +204,8 @@ func ParseStatement(src string) (Statement, error) {
 		st, err = p.prepare()
 	case p.atWord("EXECUTE"):
 		st, err = p.execute()
+	case p.atWord("INSERT"):
+		st, err = p.insert()
 	default:
 		st, err = p.stmt()
 	}
@@ -308,6 +329,72 @@ func (p *parser) execute() (*ExecuteStmt, error) {
 		return nil, err
 	}
 	return &ExecuteStmt{Name: name.text}, nil
+}
+
+// insert parses INSERT INTO name VALUES (lit, ...)(, (lit, ...))*. The
+// leading INSERT word has been recognized but not consumed.
+func (p *parser) insert() (*InsertStmt, error) {
+	p.next() // INSERT
+	if !p.acceptWord("INTO") {
+		return nil, p.errAt("expected INTO, got %s", p.cur())
+	}
+	name, err := p.expect(tokIdent, "", "table name")
+	if err != nil {
+		return nil, err
+	}
+	if !p.acceptWord("VALUES") {
+		return nil, p.errAt("expected VALUES, got %s", p.cur())
+	}
+	st := &InsertStmt{Table: name.text}
+	for {
+		if _, err := p.expect(tokSymbol, "(", "'('"); err != nil {
+			return nil, err
+		}
+		var row []Operand
+		for {
+			o, err := p.literal()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, o)
+			if !p.accept(tokSymbol, ",") {
+				break
+			}
+		}
+		closing := p.cur()
+		if _, err := p.expect(tokSymbol, ")", "')'"); err != nil {
+			return nil, err
+		}
+		if len(st.Rows) > 0 && len(row) != len(st.Rows[0]) {
+			return nil, fmt.Errorf("sql: position %d: VALUES row %d has %d values, want %d",
+				closing.pos, len(st.Rows)+1, len(row), len(st.Rows[0]))
+		}
+		st.Rows = append(st.Rows, row)
+		if !p.accept(tokSymbol, ",") {
+			break
+		}
+	}
+	return st, nil
+}
+
+// literal parses one INSERT value: an integer, a quoted string, or NULL.
+// Column references are not literals — an INSERT row carries data, not
+// expressions.
+func (p *parser) literal() (Operand, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokNumber:
+		p.next()
+		return Operand{Kind: OpInt, Int: intFromDigits(t.text)}, nil
+	case t.kind == tokString:
+		p.next()
+		return Operand{Kind: OpStr, Str: t.text}, nil
+	case p.atWord("NULL"):
+		p.next()
+		return Operand{Kind: OpNull}, nil
+	default:
+		return Operand{}, p.errAt("expected literal value, got %s", t)
+	}
 }
 
 // duration parses a latency: either a quoted Go duration ('200ms') or a
@@ -457,20 +544,7 @@ func (p *parser) operand() (Operand, error) {
 	switch t.kind {
 	case tokNumber:
 		p.next()
-		var v int64
-		neg := false
-		s := t.text
-		if s[0] == '-' {
-			neg = true
-			s = s[1:]
-		}
-		for _, ch := range s {
-			v = v*10 + int64(ch-'0')
-		}
-		if neg {
-			v = -v
-		}
-		return Operand{Kind: OpInt, Int: v}, nil
+		return Operand{Kind: OpInt, Int: intFromDigits(t.text)}, nil
 	case tokString:
 		p.next()
 		return Operand{Kind: OpStr, Str: t.text}, nil
@@ -483,6 +557,24 @@ func (p *parser) operand() (Operand, error) {
 	default:
 		return Operand{}, p.errAt("expected operand, got %s", t)
 	}
+}
+
+// intFromDigits converts a lexed number token (digits with an optional
+// leading '-') to an int64.
+func intFromDigits(s string) int64 {
+	var v int64
+	neg := false
+	if s[0] == '-' {
+		neg = true
+		s = s[1:]
+	}
+	for _, ch := range s {
+		v = v*10 + int64(ch-'0')
+	}
+	if neg {
+		v = -v
+	}
+	return v
 }
 
 func (p *parser) cond() (Cond, error) {

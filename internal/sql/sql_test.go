@@ -430,6 +430,89 @@ func TestParseRejectsRegister(t *testing.T) {
 	}
 }
 
+// --- INSERT INTO ---
+
+func TestParseInsert(t *testing.T) {
+	st, err := ParseStatement("insert into t values (1, 'it''s'), (-2, NULL)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins, ok := st.(*InsertStmt)
+	if !ok {
+		t.Fatalf("parsed %T, want *InsertStmt", st)
+	}
+	if ins.Table != "t" || len(ins.Rows) != 2 {
+		t.Fatalf("parsed %+v", ins)
+	}
+	r0, r1 := ins.Rows[0], ins.Rows[1]
+	if r0[0].Kind != OpInt || r0[0].Int != 1 || r0[1].Kind != OpStr || r0[1].Str != "it's" {
+		t.Errorf("row 0 = %+v", r0)
+	}
+	if r1[0].Kind != OpInt || r1[0].Int != -2 || r1[1].Kind != OpNull {
+		t.Errorf("row 1 = %+v", r1)
+	}
+	rows := ins.RowValues()
+	if len(rows) != 2 || rows[0][0].I != 1 || rows[0][1].S != "it's" || !rows[1][1].IsNull() {
+		t.Errorf("RowValues = %v", rows)
+	}
+	// Canonical form reparses to the same statement.
+	canon := ins.Canonical()
+	if canon != "INSERT INTO t VALUES (1, 'it''s'), (-2, NULL)" {
+		t.Errorf("canonical = %q", canon)
+	}
+	again, err := ParseStatement(canon)
+	if err != nil {
+		t.Fatalf("reparse of canonical %q: %v", canon, err)
+	}
+	if re := again.(*InsertStmt).Canonical(); re != canon {
+		t.Errorf("canonical not a fixed point: %q -> %q", canon, re)
+	}
+}
+
+// TestInsertWordsStayIdentifiers: INSERT/INTO/VALUES/NULL must not become
+// reserved — they are valid table and column names in a SELECT.
+func TestInsertWordsStayIdentifiers(t *testing.T) {
+	st, err := Parse("SELECT insert, null FROM values WHERE into.null = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Select) != 2 || st.Select[0].Col != "insert" || st.From[0].Source != "values" {
+		t.Errorf("parsed %+v", st)
+	}
+}
+
+// TestParseInsertErrors pins the byte offsets of malformed INSERTs, the same
+// way TestParseErrorPositions does for the other statement kinds.
+func TestParseInsertErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"missing INTO", "INSERT t VALUES (1)", "position 7: expected INTO"},
+		{"missing table", "INSERT INTO VALUES (1)", "position 19: expected VALUES"},
+		{"missing VALUES", "INSERT INTO t (1, 2)", "position 14: expected VALUES"},
+		{"missing rows", "INSERT INTO t VALUES", "position 20: expected '('"},
+		{"empty row", "INSERT INTO t VALUES ()", "position 22: expected literal value"},
+		{"trailing comma", "INSERT INTO t VALUES (1,)", "position 24: expected literal value"},
+		{"column ref", "INSERT INTO t VALUES (a)", "position 22: expected literal value"},
+		{"ragged rows", "INSERT INTO t VALUES (1), (2, 3)", "position 31: VALUES row 2 has 2 values, want 1"},
+		{"missing comma", "INSERT INTO t VALUES (1) (2)", "position 25: unexpected"},
+		{"unterminated string", "INSERT INTO t VALUES (1, 'open", "position 25: unterminated string"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := ParseStatement(c.src)
+			if err == nil {
+				t.Fatalf("%q: want parse error", c.src)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("%q:\n  error = %v\n  want substring %q", c.src, err, c.want)
+			}
+		})
+	}
+}
+
 // --- PREPARE / EXECUTE ---
 
 func TestParsePrepareExecute(t *testing.T) {

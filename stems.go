@@ -563,16 +563,7 @@ func (q *Query) Run(opts Options) (*Result, error) {
 	if seed == 0 {
 		seed = 1
 	}
-	var pol policy.Policy
-	switch opts.Policy {
-	case Fixed:
-		pol = policy.NewFixed()
-	case Lottery:
-		pol = policy.NewLottery(seed)
-	default:
-		pol = policy.NewBenefitCost(seed)
-	}
-	ropts := eddy.Options{Policy: pol, Shards: opts.Shards}
+	ropts := eddy.Options{Policy: newPolicy(opts.Policy, seed), Shards: opts.Shards}
 	if opts.BounceForIndexChoice {
 		ropts.ProbeBounce = stem.BounceIfIndexAM
 	}
@@ -706,6 +697,29 @@ func (q *Query) Run(opts Options) (*Result, error) {
 		return nil, fmt.Errorf("stems: internal error — %d tuples had no legal route", n)
 	}
 
+	res := buildResult(iq, r, outs)
+	if collector != nil {
+		res.Explain = collector.Report()
+	}
+	return res, nil
+}
+
+// newPolicy instantiates the routing policy for a run; seed must already be
+// defaulted.
+func newPolicy(p Policy, seed int64) policy.Policy {
+	switch p {
+	case Fixed:
+		return policy.NewFixed()
+	case Lottery:
+		return policy.NewLottery(seed)
+	default:
+		return policy.NewBenefitCost(seed)
+	}
+}
+
+// buildResult assembles a Result from engine outputs and the router's
+// cumulative counters.
+func buildResult(iq *query.Q, r *eddy.Router, outs []eddy.Output) *Result {
 	res := &Result{}
 	for _, o := range outs {
 		res.Rows = append(res.Rows, Row{At: time.Duration(o.At), q: iq, t: o.T})
@@ -723,8 +737,5 @@ func (q *Query) Run(opts Options) (*Result, error) {
 		res.Stats.SpilledBuilds += st.SpilledBuilds
 		res.Stats.ReplayMatches += st.ReplayMatches
 	}
-	if collector != nil {
-		res.Explain = collector.Report()
-	}
-	return res, nil
+	return res
 }
